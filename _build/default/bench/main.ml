@@ -1,0 +1,389 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (section 5) plus the behavioural claims DESIGN.md indexes.
+
+   All "simulated us" figures are microseconds of simulated time at 25 MHz
+   (the prototype's clock); the paper's numbers are printed alongside.  The
+   goal is shape — orderings, ratios, knees — not absolute equality with
+   the 68040 hardware.  A final Bechamel section measures host-side wall
+   time of the same operations (one Test.make per table/figure). *)
+
+open Cachekernel
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-');
+  flush stdout
+
+(* -- T1: Table 1, object sizes and cache capacities -- *)
+
+let table1 () =
+  section "T1. Table 1: Cache Kernel object sizes (bytes) and cache capacities";
+  let c = Config.default in
+  Printf.printf "  %-14s %12s %12s\n" "Object" "Size" "Cache size";
+  Printf.printf "  %-14s %12d %12d\n" "Kernel" c.Config.kernel_desc_bytes c.Config.kernel_cache;
+  Printf.printf "  %-14s %12d %12d\n" "AddrSpace" c.Config.space_desc_bytes c.Config.space_cache;
+  Printf.printf "  %-14s %12d %12d\n" "Thread" c.Config.thread_desc_bytes c.Config.thread_cache;
+  Printf.printf "  %-14s %12d %12d\n" "MemMapEntry" c.Config.mapping_desc_bytes
+    c.Config.mapping_cache;
+  Printf.printf "  (configuration constants: identical to the paper's Table 1)\n"
+
+(* -- T2: Table 2, basic operation times -- *)
+
+let table2 () =
+  section "T2. Table 2: basic operations, elapsed simulated microseconds";
+  let paper =
+    [
+      ("Mappings", (45., 145., 160.));
+      ("(optimized)", (67., 167., Float.nan));
+      ("Threads", (113., 489., 206.));
+      ("AddrSpaces", (101., 229., 152.));
+      ("Kernel", (244., 291., 80.));
+    ]
+  in
+  Printf.printf "  %-14s %14s %14s %14s\n" "Object" "load" "load+wb" "unload";
+  List.iter
+    (fun (name, (t : Workload.Micro.op_times)) ->
+      let pl, pw, pu = List.assoc name paper in
+      Printf.printf "  %-14s %6.1f (%5.0f) %6.1f (%5.0f) %6.1f (%5.0f)\n" name
+        t.Workload.Micro.load pl t.Workload.Micro.load_wb pw t.Workload.Micro.unload pu)
+    (Workload.Micro.table2 ());
+  Printf.printf "  (parenthesised: the paper's 68040 measurements)\n"
+
+(* -- M1/M2/M3: section 5.3 -- *)
+
+let micro_benchmarks () =
+  section "M1. Null system call: getpid through trap forwarding (sec 5.3)";
+  let ck = Workload.Micro.ck_getpid_us () in
+  let mono = Workload.Micro.monolithic_getpid_us () in
+  Printf.printf "  Cache Kernel + UNIX emulator : %6.1f us   (paper: 37)\n" ck;
+  Printf.printf "  monolithic baseline          : %6.1f us   (paper: Mach 2.5, 25)\n" mono;
+  Printf.printf "  forwarding overhead          : %6.1f us   (paper: 12)\n" (ck -. mono);
+  section "M2. Cross-processor signal delivery (sec 5.3)";
+  let s = Workload.Micro.signal_us () in
+  Printf.printf
+    "  one-way signal               : %6.1f us   (paper: 44 deliver + 27 return)\n"
+    s.Workload.Micro.one_way_us;
+  Printf.printf "  ping-pong round trip         : %6.1f us   (paper: ~142 for 2x71)\n"
+    s.Workload.Micro.round_trip_us;
+  section "M3. Page-fault handling, soft fault (sec 5.3 / Figure 2)";
+  let f = Workload.Micro.fault_us () in
+  Printf.printf "  transfer to application kernel : %6.1f us   (paper: 32)\n"
+    f.Workload.Micro.transfer_us;
+  Printf.printf "  handler + optimized load+resume: %6.1f us   (paper: 67)\n"
+    f.Workload.Micro.load_resume_us;
+  Printf.printf "  total                          : %6.1f us   (paper: 99)\n"
+    f.Workload.Micro.total_us
+
+(* -- C1/C2: caching behaviour sweeps (sec 5.2) -- *)
+
+let cache_sweeps () =
+  section "C1. Thread-cache behaviour: cost vs active threads (capacity 64)";
+  Printf.printf "  %8s %16s %12s %10s\n" "threads" "us/thread-round" "writebacks" "reloads";
+  List.iter
+    (fun (p : Workload.Sweeps.thread_point) ->
+      Printf.printf "  %8d %16.1f %12d %10d\n" p.Workload.Sweeps.n_threads
+        p.Workload.Sweeps.us_per_thread_round p.Workload.Sweeps.thread_writebacks
+        p.Workload.Sweeps.reloads)
+    (Workload.Sweeps.thread_sweep ~capacity:64 [ 16; 32; 48; 64; 96; 128; 192; 256 ]);
+  Printf.printf "  (knee at capacity: writeback/reload churn begins past 64)\n";
+  section "C2. Mapping-cache behaviour: working set vs capacity (256 mappings)";
+  Printf.printf "  %8s %14s %10s %14s\n" "pages" "mapping loads" "faults" "us/access";
+  List.iter
+    (fun (p : Workload.Sweeps.page_point) ->
+      Printf.printf "  %8d %14d %10d %14.2f\n" p.Workload.Sweeps.pages
+        p.Workload.Sweeps.mapping_loads p.Workload.Sweeps.faults
+        p.Workload.Sweeps.us_per_access)
+    (Workload.Sweeps.page_sweep ~mapping_capacity:256 [ 64; 128; 192; 256; 320; 512; 1024 ]);
+  Printf.printf "  (past capacity every pass refaults: the thrash of sec 5.2)\n"
+
+(* -- C3: MP3D page locality -- *)
+
+let mp3d () =
+  section "C3. MP3D page locality: scattered vs clustered particles (sec 5.2)";
+  let c = Workload.Locality.mp3d_compare () in
+  let pr (r : Sim_kernel.Mp3d.report) =
+    Printf.printf "  %-10s %12.1f us/step   tlb-miss %6.4f   cache-miss %6.4f\n"
+      (Fmt.str "%a" Sim_kernel.Mp3d.pp_placement r.Sim_kernel.Mp3d.placement)
+      r.Sim_kernel.Mp3d.us_per_step r.Sim_kernel.Mp3d.tlb_miss_rate
+      r.Sim_kernel.Mp3d.cache_miss_rate
+  in
+  pr c.Workload.Locality.scattered;
+  pr c.Workload.Locality.clustered;
+  Printf.printf "  degradation from scattering: %.1f%%   (paper: up to 25%%)\n"
+    c.Workload.Locality.degradation_percent;
+  section "C3b. Application-controlled paging (sec 3): app policy vs FIFO";
+  let p = Workload.Locality.app_paging_compare () in
+  Printf.printf "  FIFO replacement     : %6d page-ins, %10.0f us\n"
+    p.Workload.Locality.fifo_page_ins p.Workload.Locality.fifo_us;
+  Printf.printf "  application page-out : %6d page-ins, %10.0f us\n"
+    p.Workload.Locality.app_policy_page_ins p.Workload.Locality.app_policy_us
+
+(* -- C4: space overhead -- *)
+
+let space_overhead () =
+  section "C4. Space overhead of mapping state (sec 5.2)";
+  let inst = Workload.Setup.instance () in
+  let ak = Workload.Setup.first_kernel inst in
+  let caller = Aklib.App_kernel.oid ak in
+  let space = Workload.Setup.ok (Api.load_space inst ~caller ~tag:7 ()) in
+  (* map 8 MB with reasonable clustering *)
+  for i = 0 to 2047 do
+    Workload.Setup.ok
+      (Api.load_mapping inst ~caller ~space
+         (Api.mapping ~va:(0x40000000 + (i * Hw.Addr.page_size)) ~pfn:(1024 + i) ()))
+  done;
+  let r = Space_accounting.measure inst in
+  Format.printf "  @[<v 2>  %a@]@." Space_accounting.pp r;
+  Printf.printf "  (paper: descriptors as little as 0.4%% of mapped space;\n";
+  Printf.printf "   page tables roughly half the descriptor space under clustering)\n"
+
+(* -- R1/R2: resource allocation enforcement -- *)
+
+let resource_enforcement () =
+  section "R1. Processor-percentage enforcement (sec 4.3)";
+  List.iter
+    (fun pct ->
+      let q = Workload.Contention.quota_enforcement ~rogue_percent:pct () in
+      Printf.printf
+        "  rogue allocated %3d%%: achieved %5.1f%%, victim %5.1f%%, demoted: %b\n" pct
+        (100. *. q.Workload.Contention.rogue_share)
+        (100. *. q.Workload.Contention.victim_share)
+        q.Workload.Contention.demotions)
+    [ 10; 30; 50 ];
+  section "R2. Time-sliced fairness within one priority (sec 4.3)";
+  List.iter
+    (fun n ->
+      let f = Workload.Contention.timeslice_fairness ~n () in
+      Printf.printf "  %2d threads: shares [%s], max/ideal %.2f, preemptions %d\n" n
+        (String.concat "; "
+           (List.map (Printf.sprintf "%.2f") f.Workload.Contention.shares))
+        f.Workload.Contention.max_imbalance f.Workload.Contention.preemptions)
+    [ 2; 4; 8 ]
+
+(* -- X1: descriptor exhaustion -- *)
+
+let exhaustion () =
+  section "X1. Descriptor exhaustion: caching vs static tables (sec 7)";
+  let ck = Workload.Contention.ck_thread_overload ~capacity:32 () in
+  let mono = Workload.Contention.monolithic_overload ~nproc:32 () in
+  Printf.printf
+    "  Cache Kernel: %d/%d thread loads succeeded, %d hard errors, %d writebacks\n"
+    ck.Workload.Contention.loaded_ok ck.Workload.Contention.requested
+    ck.Workload.Contention.hard_errors ck.Workload.Contention.writebacks;
+  Printf.printf "  monolithic  : %d/%d forks succeeded, %d EAGAIN (NPROC=32)\n"
+    mono.Workload.Contention.loaded_ok mono.Workload.Contention.requested
+    mono.Workload.Contention.hard_errors
+
+(* -- X2: IPC cost vs message size -- *)
+
+let ipc_sweep () =
+  section "X2. IPC cost vs message size (sec 2.2 / 6)";
+  let sizes = [ 1; 16; 64; 256; 1000 ] in
+  let mbm = Workload.Ipc.mbm_sweep sizes in
+  let mk = Workload.Ipc.microkernel_sweep sizes in
+  let pipe = Workload.Ipc.pipe_sweep sizes in
+  Printf.printf "  %8s %18s %18s %18s\n" "words" "memory-based" "copy microkernel"
+    "monolithic pipe";
+  List.iter2
+    (fun ((a : Workload.Ipc.point), (b : Workload.Ipc.point)) (c : Workload.Ipc.point) ->
+      Printf.printf "  %8d %15.1f us %15.1f us %15.1f us\n" a.Workload.Ipc.words
+        a.Workload.Ipc.us_per_message b.Workload.Ipc.us_per_message
+        c.Workload.Ipc.us_per_message)
+    (List.combine mbm mk) pipe;
+  Printf.printf "  (memory-based messaging keeps the kernel off the data path)\n"
+
+(* -- X3: multi-MPM co-scheduling and fault containment -- *)
+
+let multinode () =
+  section "X3. Multi-MPM: SRM co-scheduling and fault containment (sec 3)";
+  let net = Hw.Interconnect.create () in
+  let make_node id =
+    let inst = Workload.Setup.instance ~node_id:id ~cpus:2 () in
+    let srm = Workload.Setup.ok (Srm.Manager.boot inst ()) in
+    let d = Srm.Distrib.start srm ~net in
+    (* one gang member thread per node: a spinner at low priority *)
+    let body () =
+      let rec loop () =
+        Hw.Exec.compute 3000;
+        ignore (Hw.Exec.trap Api.Ck_yield);
+        loop ()
+      in
+      loop ()
+    in
+    let tid =
+      Workload.Setup.ok
+        (Aklib.App_kernel.spawn_internal srm.Srm.Manager.ak ~priority:4
+           (Hw.Exec.unit_body body))
+    in
+    let oid =
+      Option.get (Aklib.Thread_lib.oid_of srm.Srm.Manager.ak.Aklib.App_kernel.threads tid)
+    in
+    Srm.Distrib.register_gang d ~gang:1 [ oid ];
+    (inst, srm, d)
+  in
+  let nodes = List.map make_node [ 0; 1; 2 ] in
+  List.iter
+    (fun (_, _, d) ->
+      List.iter (fun (i2, _, _) -> Srm.Distrib.add_peer d (Instance.node_id i2)) nodes)
+    nodes;
+  let insts = Array.of_list (List.map (fun (i, _, _) -> i) nodes) in
+  (* run briefly, co-schedule the gang from node 0, run again *)
+  ignore (Engine.run ~until_us:5_000.0 insts);
+  let _, _, d0 = List.nth nodes 0 in
+  Srm.Distrib.coschedule d0 ~gang:1 ~priority:20;
+  ignore (Engine.run ~until_us:10_000.0 insts);
+  List.iter
+    (fun (inst, _, d) ->
+      let applied = Srm.Distrib.cosched_applied d in
+      Printf.printf "  node %d: gang raised at %s (simulated us)\n"
+        (Instance.node_id inst)
+        (String.concat ", " (List.map (fun (_, t) -> Printf.sprintf "%.1f" t) applied)))
+    nodes;
+  (* fault containment: halt node 2; nodes 0 and 1 keep making progress *)
+  let i2, _, _ = List.nth nodes 2 in
+  i2.Instance.halted <- true;
+  Hw.Interconnect.fail_node net 2;
+  let before = Hw.Mpm.now (List.nth nodes 0 |> fun (i, _, _) -> i.Instance.node) in
+  ignore (Engine.run ~until_us:20_000.0 insts);
+  let after = Hw.Mpm.now (List.nth nodes 0 |> fun (i, _, _) -> i.Instance.node) in
+  Printf.printf
+    "  node 2 halted; node 0 advanced %.1f us afterwards (fault contained: %b)\n"
+    (Hw.Cost.us_of_cycles (after - before))
+    (after > before)
+
+(* -- Ablations of the design choices DESIGN.md calls out -- *)
+
+let ablations () =
+  section "A1. Reverse-TLB fast path for signal delivery (sec 4.1)";
+  let with_rtlb = Workload.Micro.signal_us () in
+  let without =
+    Workload.Micro.signal_us
+      ~config:{ Config.default with Config.rtlb_enabled = false }
+      ()
+  in
+  Printf.printf "  with reverse TLB    : %6.1f us one-way\n"
+    with_rtlb.Workload.Micro.one_way_us;
+  Printf.printf "  two-stage lookup    : %6.1f us one-way (+%.1f)\n"
+    without.Workload.Micro.one_way_us
+    (without.Workload.Micro.one_way_us -. with_rtlb.Workload.Micro.one_way_us);
+  section "A2. Premium charging: high-priority execution burns quota faster (sec 4.3)";
+  let demotion_ms priority =
+    (* a 30%-allocated kernel consuming the whole CPU at [priority]: how
+       long until the accounting demotes it? *)
+    let inst = Workload.Setup.instance ~cpus:1 () in
+    let k =
+      Kernel_obj.create ~n_cpus:1 ~n_groups:4
+        {
+          Kernel_obj.name = "probe";
+          handlers = Kernel_obj.null_handlers;
+          cpu_percent = [| 30 |];
+          max_priority = 31;
+          max_locked = 4;
+        }
+    in
+    ignore inst;
+    let step = Hw.Cost.cycles_of_us 1000.0 in
+    let grace = Hw.Cost.cycles_of_us 20_000.0 in
+    let rec loop elapsed =
+      if elapsed > 1000 * step then Float.infinity
+      else if
+        Quota.charge k ~cpu:0 ~priority ~cycles:step ~elapsed:(elapsed + step) ~grace
+      then Hw.Cost.us_of_cycles (elapsed + step) /. 1000.0
+      else loop (elapsed + step)
+    in
+    loop 0
+  in
+  List.iter
+    (fun prio ->
+      Printf.printf
+        "  priority %2d (premium %3d%%): demoted after %5.1f ms of monopolising\n" prio
+        (Quota.premium_percent ~priority:prio)
+        (demotion_ms prio))
+    [ 2; 8; 16; 24 ];
+  Printf.printf "  (the graduated rate shortens a high-priority rogue's leash)\n";
+  section "A3. Optimized load-and-resume vs separate return (sec 2.1)";
+  let f = Workload.Micro.fault_us () in
+  let combined = Hw.Cost.us_of_cycles Config.c_combined_resume in
+  let separate = Hw.Cost.us_of_cycles (Hw.Cost.trap_entry + Hw.Cost.exception_return) in
+  Printf.printf "  combined return path : %5.1f us per fault\n" combined;
+  Printf.printf "  separate completion  : %5.1f us per fault (+%.1f on every fault)\n"
+    separate (separate -. combined);
+  Printf.printf "  measured fault total with the combined call: %.1f us\n"
+    f.Workload.Micro.total_us
+
+(* -- Bechamel: host wall-clock of the same operations -- *)
+
+let bechamel_suite () =
+  section "Host wall-clock micro-benchmarks (Bechamel, ns per run)";
+  let open Bechamel in
+  let t1 =
+    Test.make ~name:"table1/space_accounting"
+      (Staged.stage (fun () ->
+           let inst = Workload.Setup.instance () in
+           ignore (Space_accounting.measure inst)))
+  in
+  let t2 =
+    let inst = Workload.Setup.instance ~config:Workload.Micro.small_config () in
+    let ak = Workload.Setup.first_kernel inst in
+    let caller = Aklib.App_kernel.oid ak in
+    let space = Workload.Setup.ok (Api.load_space inst ~caller ~tag:1 ()) in
+    let i = ref 0 in
+    Test.make ~name:"table2/mapping_load_unload"
+      (Staged.stage (fun () ->
+           incr i;
+           let va = 0x40000000 + (!i mod 1024 * Hw.Addr.page_size) in
+           ignore (Api.load_mapping inst ~caller ~space (Api.mapping ~va ~pfn:512 ()));
+           ignore (Api.unload_mapping inst ~caller ~space ~va)))
+  in
+  let m1 =
+    Test.make ~name:"m1/getpid_run"
+      (Staged.stage (fun () -> ignore (Workload.Micro.monolithic_getpid_us ~calls:10 ())))
+  in
+  let m3 =
+    Test.make ~name:"m3/fault_run"
+      (Staged.stage (fun () -> ignore (Workload.Micro.fault_us ~faults:5 ())))
+  in
+  let c1 =
+    Test.make ~name:"c1/thread_churn"
+      (Staged.stage (fun () ->
+           ignore (Workload.Sweeps.thread_point ~capacity:16 ~rounds:2 24)))
+  in
+  let c2 =
+    Test.make ~name:"c2/page_sweep"
+      (Staged.stage (fun () ->
+           ignore (Workload.Sweeps.page_point ~mapping_capacity:64 ~passes:2 96)))
+  in
+  let x2 =
+    Test.make ~name:"x2/mbm_messages"
+      (Staged.stage (fun () -> ignore (Workload.Ipc.mbm_sweep ~messages:5 [ 16 ])))
+  in
+  let tests = Test.make_grouped ~name:"ck" [ t1; t2; m1; m3; c1; c2; x2 ] in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  List.iter
+    (fun (name, v) ->
+      let est =
+        match Analyze.OLS.estimates v with Some (e :: _) -> e | _ -> Float.nan
+      in
+      Printf.printf "  %-40s %14.0f ns/run\n" name est)
+    (List.sort compare rows)
+
+let () =
+  Printf.printf "Cache Kernel reproduction benchmarks (OSDI '94)\n";
+  Printf.printf "simulated machine: 25 MHz MPM CPUs; times in simulated microseconds\n";
+  table1 ();
+  table2 ();
+  micro_benchmarks ();
+  cache_sweeps ();
+  mp3d ();
+  space_overhead ();
+  resource_enforcement ();
+  exhaustion ();
+  ipc_sweep ();
+  multinode ();
+  ablations ();
+  bechamel_suite ();
+  Printf.printf "\nDone.\n"

@@ -1,0 +1,106 @@
+(* ckos: command-line inspector for the Cache Kernel reproduction.
+
+   Subcommands:
+     info   — print the configuration (Table 1) and the cost model
+     run    — boot a UNIX emulator, run a small process tree, print stats
+     trace  — run one demand-paged program with the event trace enabled
+     micro  — print the Table 2 micro-benchmark rows *)
+
+open Cmdliner
+open Cachekernel
+
+let show_info () =
+  let c = Config.default in
+  Fmt.pr "Cache Kernel configuration (Table 1):@.";
+  Fmt.pr "  kernel      %4d B x %5d descriptors@." c.Config.kernel_desc_bytes
+    c.Config.kernel_cache;
+  Fmt.pr "  addr space  %4d B x %5d descriptors@." c.Config.space_desc_bytes
+    c.Config.space_cache;
+  Fmt.pr "  thread      %4d B x %5d descriptors@." c.Config.thread_desc_bytes
+    c.Config.thread_cache;
+  Fmt.pr "  mapping     %4d B x %5d descriptors@." c.Config.mapping_desc_bytes
+    c.Config.mapping_cache;
+  Fmt.pr "@.simulated machine: %d MHz CPUs, %d B pages, %d-page groups@."
+    Hw.Cost.clock_mhz Hw.Addr.page_size Hw.Addr.pages_per_group;
+  Fmt.pr "key costs (cycles): trap entry %d, fault forward %d, trap forward %d,@."
+    Hw.Cost.trap_entry Hw.Cost.exception_forward Hw.Cost.trap_forward;
+  Fmt.pr "  exception return %d, context switch %d, disk page %d@."
+    Hw.Cost.exception_return Hw.Cost.context_switch
+    (Hw.Cost.disk_seek + Hw.Cost.disk_page_transfer)
+
+let run_workload cpus procs =
+  let inst = Workload.Setup.instance ~cpus () in
+  let groups = List.init (Instance.n_groups inst) Fun.id in
+  let emu = Workload.Setup.ok (Unix_emu.Emulator.boot inst ~groups) in
+  let child =
+    Unix_emu.Syscall.program "job" (fun () ->
+        let pid = Unix_emu.Syscall.getpid () in
+        for i = 0 to 7 do
+          Hw.Exec.mem_write (Unix_emu.Process.data_base + (i * Hw.Addr.page_size)) (pid + i)
+        done;
+        Hw.Exec.compute 100_000;
+        0)
+  in
+  let init =
+    Unix_emu.Syscall.program "init" (fun () ->
+        let pids = List.init procs (fun _ -> Unix_emu.Syscall.spawn child) in
+        List.iter (fun _ -> ignore (Unix_emu.Syscall.wait ())) pids;
+        0)
+  in
+  ignore (Workload.Setup.ok (Unix_emu.Emulator.start_init emu init));
+  ignore (Engine.run [| inst |]);
+  Fmt.pr "ran %d processes in %.1f ms simulated (%d syscalls)@."
+    emu.Unix_emu.Emulator.spawned
+    (Hw.Cost.us_of_cycles (Hw.Mpm.now inst.Instance.node) /. 1000.)
+    emu.Unix_emu.Emulator.syscalls;
+  Fmt.pr "%a" Stats.pp inst.Instance.stats;
+  Fmt.pr "space accounting:@.  @[<v>%a@]@." Space_accounting.pp
+    (Space_accounting.measure inst)
+
+let show_trace () =
+  let inst = Workload.Setup.instance ~cpus:1 () in
+  Trace.enable inst.Instance.trace;
+  let ak = Workload.Setup.first_kernel inst in
+  let mgr = ak.Aklib.App_kernel.mgr in
+  let vsp = Workload.Setup.ok (Aklib.Segment_mgr.create_space mgr) in
+  let seg = Aklib.Segment_mgr.create_segment mgr ~name:"demo" ~pages:4 in
+  Aklib.Segment_mgr.attach_region mgr vsp
+    (Aklib.Region.v ~va_start:0x40000000 ~pages:4 ~segment:seg ~seg_offset:0 ());
+  ignore
+    (Workload.Setup.ok
+       (Aklib.Thread_lib.spawn ak.Aklib.App_kernel.threads
+          ~space_tag:vsp.Aklib.Segment_mgr.tag ~priority:8
+          (Hw.Exec.unit_body (fun () ->
+               for i = 0 to 3 do
+                 Hw.Exec.mem_write (0x40000000 + (i * Hw.Addr.page_size)) i
+               done))));
+  ignore (Engine.run [| inst |]);
+  Fmt.pr "%a" Trace.pp inst.Instance.trace
+
+let show_micro () =
+  List.iter
+    (fun (name, (t : Workload.Micro.op_times)) ->
+      Fmt.pr "%-14s load %6.1f us   load+wb %6.1f us   unload %6.1f us@." name
+        t.Workload.Micro.load t.Workload.Micro.load_wb t.Workload.Micro.unload)
+    (Workload.Micro.table2 ())
+
+let info_cmd = Cmd.v (Cmd.info "info" ~doc:"Configuration and cost model") Term.(const show_info $ const ())
+
+let run_cmd =
+  let cpus = Arg.(value & opt int 4 & info [ "cpus" ] ~doc:"CPUs per MPM.") in
+  let procs = Arg.(value & opt int 4 & info [ "procs" ] ~doc:"Processes to run.") in
+  Cmd.v (Cmd.info "run" ~doc:"Run a UNIX workload and print statistics")
+    Term.(const run_workload $ cpus $ procs)
+
+let trace_cmd =
+  Cmd.v (Cmd.info "trace" ~doc:"Trace the Figure 2 fault protocol") Term.(const show_trace $ const ())
+
+let micro_cmd =
+  Cmd.v (Cmd.info "micro" ~doc:"Table 2 micro-benchmarks") Term.(const show_micro $ const ())
+
+let () =
+  Stdlib.exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "ckos" ~doc:"Cache Kernel (OSDI '94) reproduction inspector")
+          [ info_cmd; run_cmd; trace_cmd; micro_cmd ]))

@@ -1,0 +1,1 @@
+examples/mp3d_run.ml: Arg Cachekernel Cmd Cmdliner Fmt Sim_kernel Stdlib Term Workload

@@ -1,0 +1,1 @@
+examples/mp3d_run.mli:

@@ -1,0 +1,1 @@
+examples/multinode.ml: Aklib Api Array Cachekernel Dump Engine Fmt Hw Instance List Option Srm Workload

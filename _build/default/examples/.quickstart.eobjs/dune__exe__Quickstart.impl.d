@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aklib Api App_kernel Cachekernel Channel Dump Engine Fmt Fun Hw Instance List Region Segment_mgr Stats Thread_lib Trace

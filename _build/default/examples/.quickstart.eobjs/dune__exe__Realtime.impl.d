@@ -1,0 +1,1 @@
+examples/realtime.ml: Aklib Api App_kernel Cachekernel Engine Fmt Hw Instance List Signals Srm Stats Thread_lib Workload

@@ -1,0 +1,1 @@
+examples/unix_session.ml: Api Cachekernel Emulator Engine Fmt Fun Hw Instance List Logs Printf Process Sched Stats String Syscall Unix_emu

@@ -1,0 +1,93 @@
+(* A UNIX session on the Cache Kernel: the emulator runs an init process
+   that spawns a pipeline of children — compute jobs, a sleeper woken by a
+   sibling, a copy-on-write spawn — under the decay scheduler, then one
+   process is swapped out and back.  Demonstrates that "stable" UNIX pids
+   survive any number of Cache Kernel identifier changes.
+
+   Run with: dune exec examples/unix_session.exe *)
+
+open Cachekernel
+open Unix_emu
+
+let ok = function Ok v -> v | Error e -> Fmt.failwith "api error: %a" Api.pp_error e
+
+let () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Warning);
+  let node = Hw.Mpm.create ~node_id:0 ~cpus:2 ~mem_size:(32 * 1024 * 1024) () in
+  let inst = Instance.create node in
+  let groups = List.init (Instance.n_groups inst) Fun.id in
+  let emu = ok (Emulator.boot inst ~groups) in
+
+  let worker =
+    Syscall.program "worker" (fun () ->
+        let pid = Syscall.getpid () in
+        Syscall.write (Printf.sprintf "[worker %d] computing\n" pid);
+        (* touch some heap: demand paging in action *)
+        let base = Process.data_base in
+        for i = 0 to 7 do
+          Hw.Exec.mem_write (base + (i * Hw.Addr.page_size)) (pid + i)
+        done;
+        Hw.Exec.compute 200_000;
+        Syscall.write (Printf.sprintf "[worker %d] done\n" pid);
+        pid)
+  in
+  let sleeper =
+    Syscall.program "sleeper" (fun () ->
+        Syscall.write "[sleeper] waiting for coffee\n";
+        Syscall.sleep "coffee";
+        Syscall.write "[sleeper] woken!\n";
+        0)
+  in
+  let waker =
+    Syscall.program "waker" (fun () ->
+        Hw.Exec.compute 400_000;
+        Syscall.write "[waker] wakeup(coffee)\n";
+        Syscall.wakeup "coffee";
+        0)
+  in
+  let cow_child =
+    Syscall.program "cow-child" (fun () ->
+        let inherited = Hw.Exec.mem_read Process.data_base in
+        Syscall.write (Printf.sprintf "[cow] inherited %d, writing privately\n" inherited);
+        Hw.Exec.mem_write Process.data_base 7777;
+        0)
+  in
+  let init =
+    Syscall.program "init" (fun () ->
+        Syscall.write "[init] starting session\n";
+        Hw.Exec.mem_write Process.data_base 1234;
+        let pids =
+          [
+            Syscall.spawn worker;
+            Syscall.spawn worker;
+            Syscall.spawn sleeper;
+            Syscall.spawn waker;
+            Syscall.spawn ~inherit_memory:true cow_child;
+          ]
+        in
+        Syscall.write
+          (Printf.sprintf "[init] spawned %s\n"
+             (String.concat ", " (List.map string_of_int pids)));
+        List.iter
+          (fun _ ->
+            let pid, code = Syscall.wait () in
+            Syscall.write (Printf.sprintf "[init] reaped %d (exit %d)\n" pid code))
+          pids;
+        let mine = Hw.Exec.mem_read Process.data_base in
+        Syscall.write (Printf.sprintf "[init] my data still %d (COW held)\n" mine);
+        0)
+  in
+  ignore (ok (Emulator.start_init emu init));
+  let sched = ok (Sched.start emu ~interval_us:20_000.0) in
+  ignore (Engine.run [| inst |]);
+  Sched.stop sched;
+  print_string (Emulator.console emu);
+  Printf.printf "\n%d processes ran, %d syscalls, %d scheduler ticks\n"
+    emu.Emulator.spawned emu.Emulator.syscalls (Sched.ticks sched);
+  Printf.printf "thread loads=%d unloads=%d (sleep/wakeup = unload/reload)\n"
+    inst.Instance.stats.Stats.threads.Stats.loads
+    inst.Instance.stats.Stats.threads.Stats.unloads;
+  Printf.printf "deferred copies performed by the Cache Kernel: %d\n"
+    inst.Instance.stats.Stats.cow_copies;
+  Printf.printf "simulated time: %.1f ms\n" (Hw.Cost.us_of_cycles (Hw.Mpm.now node) /. 1000.)

@@ -1,0 +1,1 @@
+lib/aklib/app_kernel.ml: Api Array Backing_store Cachekernel Config Frame_alloc Fun Hw Instance Kernel_obj List Oid Queue Segment_mgr Thread_lib Wb

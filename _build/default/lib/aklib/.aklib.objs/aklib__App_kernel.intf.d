@@ -1,0 +1,1 @@
+lib/aklib/app_kernel.mli: Api Backing_store Cachekernel Frame_alloc Hw Instance Kernel_obj Oid Segment_mgr Thread_lib Wb

@@ -1,0 +1,1 @@
+lib/aklib/backing_store.ml: Hw

@@ -1,0 +1,1 @@
+lib/aklib/backing_store.mli: Bytes Hw

@@ -1,0 +1,1 @@
+lib/aklib/channel.ml: Api Array Cachekernel Frame_alloc Hw List Region Segment Segment_mgr

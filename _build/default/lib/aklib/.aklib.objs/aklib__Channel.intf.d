@@ -1,0 +1,1 @@
+lib/aklib/channel.mli: Cachekernel Segment Segment_mgr

@@ -1,0 +1,1 @@
+lib/aklib/dsm.ml: Api App_kernel Array Bytes Cachekernel Fmt Frame_alloc Hashtbl Hw Instance Int32 Kernel_obj List Logs Oid Segment_mgr Signals

@@ -1,0 +1,1 @@
+lib/aklib/dsm.mli: App_kernel Hw Segment_mgr

@@ -1,0 +1,1 @@
+lib/aklib/frame_alloc.mli:

@@ -1,0 +1,1 @@
+lib/aklib/region.ml: Cachekernel Fmt Hw Segment

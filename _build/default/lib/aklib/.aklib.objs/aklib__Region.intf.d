@@ -1,0 +1,1 @@
+lib/aklib/region.mli: Cachekernel Fmt Segment

@@ -1,0 +1,1 @@
+lib/aklib/rpc.ml: Api Buffer Cachekernel Channel Char Hw List String

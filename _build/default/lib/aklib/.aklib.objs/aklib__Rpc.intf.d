@@ -1,0 +1,1 @@
+lib/aklib/rpc.mli: Channel Segment_mgr

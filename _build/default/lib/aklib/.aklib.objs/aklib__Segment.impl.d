@@ -1,0 +1,1 @@
+lib/aklib/segment.ml: Fmt Hashtbl

@@ -1,0 +1,1 @@
+lib/aklib/segment_mgr.ml: Api Backing_store Bytes Cachekernel Config Frame_alloc Hashtbl Hw Instance Kernel_obj List Logs Oid Queue Region Segment Signals Thread_obj Wb

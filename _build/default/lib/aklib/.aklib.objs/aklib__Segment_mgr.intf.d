@@ -1,0 +1,1 @@
+lib/aklib/segment_mgr.mli: Api Backing_store Bytes Cachekernel Frame_alloc Hashtbl Instance Kernel_obj Oid Queue Region Segment Wb

@@ -1,0 +1,1 @@
+lib/aklib/thread_lib.ml: Api Cachekernel Hashtbl Hw Instance Oid Thread_obj Wb

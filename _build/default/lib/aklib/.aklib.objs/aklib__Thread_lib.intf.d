@@ -1,0 +1,1 @@
+lib/aklib/thread_lib.mli: Api Cachekernel Hw Instance Oid Thread_obj Wb

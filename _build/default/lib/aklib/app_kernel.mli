@@ -1,0 +1,67 @@
+(** The application-kernel skeleton: "any program that is written to
+    interface directly to the Cache Kernel, handling its own memory
+    management, processing management and communication" (section 3).
+
+    Composes the class libraries behind the three handler entry points of a
+    kernel object and routes writeback records to the owning library.
+    Policies are overridden by replacing the mutable hook fields. *)
+
+open Cachekernel
+
+type t = {
+  inst : Instance.t;
+  name : string;
+  oid_ref : Oid.t ref;
+  frames : Frame_alloc.t;
+  disk : Hw.Disk.t;
+  store : Backing_store.t;
+  mgr : Segment_mgr.t;
+  threads : Thread_lib.t;
+  mutable own_space : Segment_mgr.vspace option;
+  mutable trap_dispatch : t -> Oid.t -> Hw.Exec.payload -> Hw.Exec.payload;
+      (** "system call" handler for this kernel's threads *)
+  mutable on_kernel_writeback : t -> Oid.t -> string -> Wb.reason -> unit;
+      (** kernel-object writebacks (the first kernel receives these) *)
+  mutable draining : bool;
+  mutable writebacks_processed : int;
+}
+
+val oid : t -> Oid.t
+(** The kernel object's current Cache Kernel identifier. *)
+
+val drain : t -> unit
+(** Drain the writeback channel, dispatching records to the libraries. *)
+
+val prepare :
+  Instance.t ->
+  name:string ->
+  ?cpu_percent:int ->
+  ?max_priority:int ->
+  ?max_locked:int ->
+  unit ->
+  t * Kernel_obj.spec
+(** Build the libraries and the kernel-object spec whose handlers close
+    over them; the caller (boot or the SRM) loads the spec and calls
+    {!attach}. *)
+
+val attach : t -> oid:Oid.t -> groups:int list -> unit
+val init_own_space : t -> (Segment_mgr.vspace, Api.error) result
+
+val boot_first : Instance.t -> name:string -> ?groups:int list -> unit -> (t, Api.error) result
+(** Load this kernel as the first kernel with full resources. *)
+
+val reattach_space : t -> (unit, Api.error) result
+(** After a kernel-object reload (swap-in): rebind the kernel's own space. *)
+
+val resume_threads : t -> unit
+(** Reload every written-back (non-exited) thread after swap-in. *)
+
+val spawn_internal :
+  t ->
+  priority:int ->
+  ?affinity:int ->
+  ?lock:bool ->
+  (unit -> Hw.Exec.payload) ->
+  (int, Api.error) result
+(** Spawn a thread in the kernel's own address space (schedulers, daemons,
+    real-time threads). *)

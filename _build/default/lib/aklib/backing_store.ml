@@ -1,0 +1,46 @@
+(* Backing store for an application kernel's segments.
+
+   Paging I/O belongs to application kernels, not the Cache Kernel.  This
+   wraps the simulated disk with block allocation and page-granularity
+   transfers between physical frames and blocks; completions arrive through
+   the node's event queue. *)
+
+type t = {
+  disk : Hw.Disk.t;
+  mem : Hw.Phys_mem.t;
+  mutable free_blocks : int list;
+  mutable page_ins : int;
+  mutable page_outs : int;
+}
+
+let create ~disk ~mem = { disk; mem; free_blocks = []; page_ins = 0; page_outs = 0 }
+
+let alloc_block t =
+  match t.free_blocks with
+  | b :: rest ->
+    t.free_blocks <- rest;
+    b
+  | [] -> Hw.Disk.alloc_block t.disk
+
+let free_block t b = t.free_blocks <- b :: t.free_blocks
+
+(** Write frame [pfn] to a fresh (or supplied) block; [k block] runs on
+    completion. *)
+let page_out t ?block ~pfn k =
+  t.page_outs <- t.page_outs + 1;
+  let block = match block with Some b -> b | None -> alloc_block t in
+  let data = Hw.Phys_mem.read_bytes t.mem (Hw.Addr.addr_of_page pfn) Hw.Addr.page_size in
+  Hw.Disk.write t.disk ~block data (fun () -> k block)
+
+(** Read [block] into frame [pfn]; [k ()] runs on completion. *)
+let page_in t ~block ~pfn k =
+  t.page_ins <- t.page_ins + 1;
+  Hw.Disk.read t.disk ~block (fun data ->
+      Hw.Phys_mem.write_bytes t.mem (Hw.Addr.addr_of_page pfn) data;
+      k ())
+
+(** Synchronous block write for boot-time loading of program images. *)
+let write_block_now t ~block data = Hw.Disk.write_now t.disk ~block data
+
+let page_ins t = t.page_ins
+let page_outs t = t.page_outs

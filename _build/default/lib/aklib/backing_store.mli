@@ -1,0 +1,22 @@
+(** Backing store for an application kernel's segments: block allocation
+    and page-granularity transfers over the simulated disk.  Paging I/O
+    belongs to application kernels — the Cache Kernel never touches this. *)
+
+type t
+
+val create : disk:Hw.Disk.t -> mem:Hw.Phys_mem.t -> t
+
+val alloc_block : t -> int
+val free_block : t -> int -> unit
+
+val page_out : t -> ?block:int -> pfn:int -> (int -> unit) -> unit
+(** Write a frame to a block (fresh unless supplied); the continuation
+    receives the block on completion. *)
+
+val page_in : t -> block:int -> pfn:int -> (unit -> unit) -> unit
+
+val write_block_now : t -> block:int -> Bytes.t -> unit
+(** Synchronous write for boot-time program loading. *)
+
+val page_ins : t -> int
+val page_outs : t -> int

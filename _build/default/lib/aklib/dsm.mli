@@ -1,0 +1,32 @@
+(** Distributed shared memory over consistency faults (section 2.1).
+
+    A mapping loaded with the [remote] attribute raises a consistency fault
+    on access; the Cache Kernel forwards it to the owning application
+    kernel like any other exception, and this module's single-holder
+    migratory protocol fetches the page from its current holder over the
+    fiber channel, reinstalls the mapping, and lets the access retry.
+    Coordination between kernels is entirely higher-level software, as
+    section 3 prescribes. *)
+
+type page_state = Valid | Invalid
+
+type t
+
+val create :
+  App_kernel.t ->
+  net:Hw.Interconnect.t ->
+  home:int ->
+  pages:int ->
+  va_base:int ->
+  Segment_mgr.vspace ->
+  t
+(** Create one node's view of a shared segment.  All participating nodes
+    pass the same [home]; the home node starts holding every page.  The
+    consistency-fault hook of the kernel's segment manager is installed. *)
+
+val state : t -> int -> page_state
+val fetches : t -> int
+(** Fetch requests processed (meaningful at the home node). *)
+
+val recalls : t -> int
+val invalidations : t -> int

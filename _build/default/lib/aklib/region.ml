@@ -1,0 +1,42 @@
+(* Virtual memory regions: a contiguous range of virtual addresses bound to
+   a window of a segment, with protection and messaging attributes.  The
+   segment manager's fault handler resolves a faulting address to a region
+   and serves the page from the region's segment. *)
+
+type prot = Ro | Rw
+
+let pp_prot ppf = function Ro -> Fmt.string ppf "ro" | Rw -> Fmt.string ppf "rw"
+
+type t = {
+  va_start : int; (* page aligned *)
+  pages : int;
+  segment : Segment.t;
+  seg_offset : int; (* first segment page backing this region *)
+  prot : prot;
+  message_mode : bool;
+  signal_thread : unit -> Cachekernel.Oid.t option;
+      (* resolved at mapping-load time so rebindings (thread reloads,
+         signal redirection) survive refaults *)
+}
+
+let v ?(prot = Rw) ?(message_mode = false) ?(signal_thread = fun () -> None) ~va_start
+    ~pages ~segment ~seg_offset () =
+  if va_start land (Hw.Addr.page_size - 1) <> 0 then
+    invalid_arg "Region.v: va_start must be page aligned";
+  if seg_offset + pages > segment.Segment.pages then
+    invalid_arg "Region.v: window exceeds segment";
+  { va_start; pages; segment; seg_offset; prot; message_mode; signal_thread }
+
+let contains t va = va >= t.va_start && va < t.va_start + (t.pages * Hw.Addr.page_size)
+
+(** Segment page index backing virtual address [va]. *)
+let page_index t va = ((va - t.va_start) / Hw.Addr.page_size) + t.seg_offset
+
+(** Virtual address of segment page [page] within this region. *)
+let va_of_page t page = t.va_start + ((page - t.seg_offset) * Hw.Addr.page_size)
+
+let va_end t = t.va_start + (t.pages * Hw.Addr.page_size)
+
+let pp ppf t =
+  Fmt.pf ppf "[%a..%a) %a %s" Hw.Addr.pp_addr t.va_start Hw.Addr.pp_addr (va_end t)
+    pp_prot t.prot t.segment.Segment.name

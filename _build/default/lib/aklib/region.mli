@@ -1,0 +1,36 @@
+(** Virtual memory regions: a contiguous virtual range bound to a window of
+    a segment, with protection and messaging attributes.  The segment
+    manager's fault handler resolves a faulting address to a region and
+    serves the page from its segment. *)
+
+type prot = Ro | Rw
+
+val pp_prot : prot Fmt.t
+
+type t = {
+  va_start : int;
+  pages : int;
+  segment : Segment.t;
+  seg_offset : int;
+  prot : prot;
+  message_mode : bool;
+  signal_thread : unit -> Cachekernel.Oid.t option;
+      (** resolved at mapping-load time so rebindings survive refaults *)
+}
+
+val v :
+  ?prot:prot ->
+  ?message_mode:bool ->
+  ?signal_thread:(unit -> Cachekernel.Oid.t option) ->
+  va_start:int ->
+  pages:int ->
+  segment:Segment.t ->
+  seg_offset:int ->
+  unit ->
+  t
+
+val contains : t -> int -> bool
+val page_index : t -> int -> int
+val va_of_page : t -> int -> int
+val va_end : t -> int
+val pp : t Fmt.t

@@ -1,0 +1,95 @@
+(* Object-oriented RPC over memory-based messaging (section 2.2).
+
+   "An object-oriented RPC facility implemented on top of the memory-based
+   messaging as a user-space communication library allows applications and
+   services to use a conventional procedural communication interface."
+
+   A connection is a pair of channels (request, response).  A request is a
+   method selector plus marshalled arguments; the server's dispatch loop
+   invokes the registered handler and sends the reply in the paired slot.
+   Marshalling is word-oriented ({!Wire}) and every word moves through the
+   simulated memory system, so RPC cost is memory-system cost — no copying
+   through the kernel, no protection boundary crossing. *)
+
+open Cachekernel
+
+module Wire = struct
+  (** Flat word-level marshalling: ints as words, strings as a length word
+      plus packed bytes. *)
+
+  let of_string s =
+    let n = String.length s in
+    let words = (n + 3) / 4 in
+    n
+    :: List.init words (fun w ->
+           let b i =
+             let idx = (w * 4) + i in
+             if idx < n then Char.code s.[idx] else 0
+           in
+           b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24))
+
+  let to_string = function
+    | [] -> ("", [])
+    | n :: rest ->
+      let words = (n + 3) / 4 in
+      let buf = Buffer.create n in
+      let rec take k ws =
+        if k = 0 then ws
+        else
+          match ws with
+          | [] -> invalid_arg "Wire.to_string: truncated"
+          | w :: tl ->
+            for i = 0 to 3 do
+              let idx = ((words - k) * 4) + i in
+              if idx < n then Buffer.add_char buf (Char.chr ((w lsr (8 * i)) land 0xFF))
+            done;
+            take (k - 1) tl
+      in
+      let rest = take words rest in
+      (Buffer.contents buf, rest)
+end
+
+(** One side of a connection: a request endpoint and a response endpoint
+    (each a {!Channel.endpoint}). *)
+type conn = { req : Channel.endpoint; rsp : Channel.endpoint }
+
+(** Build the shared state for a connection: two channels. *)
+let create_shared mgr ~name =
+  ( Channel.create_shared mgr ~name:(name ^ ".req"),
+    Channel.create_shared mgr ~name:(name ^ ".rsp") )
+
+(** Client-side call: marshal [method_id :: args] into a request slot, ring
+    the bell, and block for the reply in the paired response slot. *)
+let call (c : conn) ~slot ~method_id args =
+  Channel.send c.req ~slot (method_id :: args);
+  let rec await () =
+    match Hw.Exec.trap Api.Ck_wait_signal with
+    | Api.Ck_signal va -> (
+      match Channel.decode c.rsp va with
+      | Some s when s = slot ->
+        let len = Hw.Exec.mem_read (c.rsp.Channel.bell_va + (4 * s)) in
+        Channel.read_slot c.rsp ~slot:s ~len
+      | _ -> await ())
+    | _ -> await ()
+  in
+  await ()
+
+(** Server dispatch loop body: wait for one request, dispatch to [handle],
+    reply in the same slot.  Returns after one exchange so callers can
+    compose it into their own loops. *)
+let serve_one (c : conn) ~handle =
+  let slot, msg = Channel.recv c.req in
+  let reply =
+    match msg with
+    | method_id :: args -> handle ~method_id args
+    | [] -> []
+  in
+  Channel.send c.rsp ~slot reply
+
+(** Run [serve_one] forever (for dedicated server threads). *)
+let serve_forever (c : conn) ~handle =
+  let rec loop () =
+    serve_one c ~handle;
+    loop ()
+  in
+  loop ()

@@ -1,0 +1,100 @@
+(** The segment manager: the memory-management class library of section 3.
+
+    Paging *policy* lives here, in user mode: frame allocation, page
+    replacement, backing-store I/O, zero fill and copy-on-write — driving
+    the Cache Kernel through mapping load/unload and digesting the
+    referenced/modified bits out of writeback records.  Policy hooks
+    ([on_segv], [choose_victim], [on_consistency]) are mutable fields, the
+    simulation analogue of overriding the C++ library's virtual methods.
+
+    Fault handling executes inside the faulting thread's application-kernel
+    frame, so operations that wait for disk I/O block the thread on an
+    address-valued signal and resume on the completion callback. *)
+
+open Cachekernel
+
+type env = {
+  inst : Instance.t;
+  kernel : unit -> Oid.t;  (** our kernel object (identifier may change) *)
+  frames : Frame_alloc.t;
+  store : Backing_store.t;
+}
+
+(** One managed address space: a stable tag, the current (cache) identifier,
+    and its regions. *)
+type vspace = {
+  tag : int;
+  mutable oid : Oid.t;
+  mutable regions : Region.t list;
+  mutable loaded : bool;
+}
+
+type stats = {
+  mutable soft_faults : int;
+  mutable zero_fills : int;
+  mutable page_in_faults : int;
+  mutable cow_faults : int;
+  mutable protection_errors : int;
+  mutable segv : int;
+  mutable evictions : int;
+}
+
+type t = {
+  env : env;
+  spaces : (int, vspace) Hashtbl.t;
+  mutable next_space_tag : int;
+  mutable next_segment_id : int;
+  mutable next_wait_token : int;
+  fifo : (Segment.t * int) Queue.t;
+  stats : stats;
+  mutable on_segv : t -> Kernel_obj.fault_ctx -> unit;
+      (** policy hook: no region / protection error *)
+  mutable choose_victim : t -> (Segment.t * int * Segment.resident) option;
+      (** policy hook: page replacement (default FIFO) *)
+  mutable on_consistency : t -> Kernel_obj.fault_ctx -> bool;
+      (** policy hook: consistency faults; a DSM layer installs its
+          protocol here *)
+}
+
+val create : env -> t
+val stats : t -> stats
+
+(** {1 Spaces, segments, regions} *)
+
+val create_space : t -> (vspace, Api.error) result
+val space_by_tag : t -> int -> vspace option
+val space_by_oid : t -> Oid.t -> vspace option
+val create_segment : t -> name:string -> pages:int -> Segment.t
+val attach_region : t -> vspace -> Region.t -> unit
+val region_of : vspace -> int -> Region.t option
+
+val reload_space : t -> vspace -> (Oid.t, Api.error) result
+(** Reload a written-back space (a new identifier is assigned). *)
+
+(** {1 Paging} *)
+
+val alloc_frame : t -> thread:Oid.t -> int option
+(** (handler context) Allocate a frame, evicting — and paging out, blocking
+    the thread — as needed. *)
+
+val evict_one : t -> thread:Oid.t -> int option
+val unmap_residents : t -> Segment.resident -> unit
+
+val ensure_resident : t -> Segment.t -> int -> thread:Oid.t -> Segment.resident option
+(** (handler context) Bring a segment page into memory. *)
+
+(** {1 Handlers} *)
+
+val handle_fault : t -> Kernel_obj.fault_ctx -> unit
+(** The application kernel's page-fault handler (Figure 2 step 3). *)
+
+val handle_mapping_writeback : t -> space_tag:int -> Wb.mapping_state -> unit
+(** Fold a mapping writeback's referenced/modified bits into our records. *)
+
+val handle_space_writeback : t -> tag:int -> unit
+
+(** {1 Boot helpers} *)
+
+val write_segment_now : t -> Segment.t -> offset:int -> Bytes.t -> unit
+(** Host-context fill of segment pages (program loading); frames must be
+    available. *)

@@ -1,0 +1,137 @@
+(* The processing class library of section 3: "basically a thread library
+   that schedules threads by loading them into the Cache Kernel rather than
+   by using its own dispatcher and run queue."
+
+   The library keeps one entry per application thread, keyed by a stable
+   local identifier (used as the Cache Kernel tag).  Scheduling a thread
+   loads it; descheduling unloads it; a thread blocked on a long-term event
+   is unloaded and its written-back state is reloaded on wakeup — the
+   on-demand thread loading of section 2.3. *)
+
+open Cachekernel
+
+type run = Loaded | Unloaded of Thread_obj.saved option | Exited
+
+type entry = {
+  id : int;
+  space_tag : int;
+  mutable oid : Oid.t;
+  mutable run : run;
+  mutable priority : int;
+  mutable affinity : int option;
+  mutable lock : bool;
+  body : (unit -> Hw.Exec.payload) option; (* initial program, for fresh loads *)
+}
+
+type t = {
+  inst : Instance.t;
+  kernel : unit -> Oid.t;
+  space_oid : int -> (Oid.t, Api.error) result;
+      (* resolve (and reload if written back) the space with a given tag *)
+  table : (int, entry) Hashtbl.t;
+  mutable next_id : int;
+  mutable reload_retries : int; (* stale-space retries performed *)
+}
+
+let create ~inst ~kernel ~space_oid =
+  { inst; kernel; space_oid; table = Hashtbl.create 32; next_id = 1; reload_retries = 0 }
+
+let entry t id = Hashtbl.find_opt t.table id
+let oid_of t id = match entry t id with Some e -> Some e.oid | None -> None
+
+let load_entry t (e : entry) ~start =
+  let load () =
+    match t.space_oid e.space_tag with
+    | Error err -> Error err
+    | Ok space ->
+      Api.load_thread t.inst ~caller:(t.kernel ()) ~space ~priority:e.priority
+        ~affinity:e.affinity ~lock:e.lock ~tag:e.id ~start ()
+  in
+  match load () with
+  | Ok oid ->
+    e.oid <- oid;
+    e.run <- Loaded;
+    Ok oid
+  | Error Api.Stale_reference ->
+    (* The space was written back concurrently with the load: reload the
+       address space object and retry — the paper's retry protocol. *)
+    t.reload_retries <- t.reload_retries + 1;
+    (match load () with
+    | Ok oid ->
+      e.oid <- oid;
+      e.run <- Loaded;
+      Ok oid
+    | Error e -> Error e)
+  | Error err -> Error err
+
+(** Create a thread in the space tagged [space_tag] and load it. *)
+let spawn t ~space_tag ~priority ?affinity ?(lock = false) body =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let e =
+    {
+      id;
+      space_tag;
+      oid = Oid.none;
+      run = Unloaded None;
+      priority;
+      affinity;
+      lock;
+      body = Some body;
+    }
+  in
+  Hashtbl.replace t.table id e;
+  match load_entry t e ~start:(Thread_obj.Fresh body) with
+  | Ok _ -> Ok id
+  | Error err ->
+    Hashtbl.remove t.table id;
+    Error err
+
+(** Deschedule: unload the thread from the Cache Kernel (its state arrives
+    through a writeback record and is kept for the next [schedule]). *)
+let deschedule t id =
+  match entry t id with
+  | Some e when e.run = Loaded -> Api.unload_thread t.inst ~caller:(t.kernel ()) e.oid
+  | Some _ -> Ok ()
+  | None -> Error Api.Stale_reference
+
+(** Schedule: (re)load the thread from saved state, or fresh if it was
+    never run. *)
+let schedule t id =
+  match entry t id with
+  | None -> Error Api.Stale_reference
+  | Some e -> (
+    match e.run with
+    | Loaded -> Ok e.oid
+    | Exited -> Error Api.Stale_reference
+    | Unloaded (Some saved) -> load_entry t e ~start:(Thread_obj.Saved saved)
+    | Unloaded None -> (
+      match e.body with
+      | Some body -> load_entry t e ~start:(Thread_obj.Fresh body)
+      | None -> Error Api.Stale_reference))
+
+let set_priority t id priority =
+  match entry t id with
+  | None -> Error Api.Stale_reference
+  | Some e ->
+    e.priority <- priority;
+    if e.run = Loaded then Api.set_priority t.inst ~caller:(t.kernel ()) e.oid priority
+    else Ok ()
+
+(** Digest a thread writeback record. *)
+let handle_writeback t ~tag ~(state : Thread_obj.saved) ~(reason : Wb.reason) ~priority =
+  match entry t tag with
+  | None -> ()
+  | Some e -> (
+    e.priority <- priority;
+    match reason with
+    | Wb.Exited -> e.run <- Exited
+    | Wb.Displaced | Wb.Requested | Wb.Dependent | Wb.Consistency ->
+      e.run <- Unloaded (Some state))
+
+let running t id = match entry t id with Some e -> e.run = Loaded | None -> false
+let exited t id = match entry t id with Some e -> e.run = Exited | None -> true
+let reload_retries t = t.reload_retries
+
+(** All entries (for schedulers that sweep, e.g. priority decay). *)
+let iter t f = Hashtbl.iter (fun _ e -> f e) t.table

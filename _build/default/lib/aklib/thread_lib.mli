@@ -1,0 +1,58 @@
+(** The processing class library of section 3: "basically a thread library
+    that schedules threads by loading them into the Cache Kernel rather
+    than by using its own dispatcher and run queue."
+
+    Entries are keyed by a stable local identifier (the Cache Kernel tag).
+    Scheduling loads a thread; descheduling unloads it; a thread blocked on
+    a long-term event is unloaded and its written-back state reloaded on
+    wakeup — section 2.3's on-demand thread loading.  Loads that race a
+    concurrent space writeback retry after reloading the space. *)
+
+open Cachekernel
+
+type run = Loaded | Unloaded of Thread_obj.saved option | Exited
+
+type entry = {
+  id : int;
+  space_tag : int;
+  mutable oid : Oid.t;
+  mutable run : run;
+  mutable priority : int;
+  mutable affinity : int option;
+  mutable lock : bool;
+  body : (unit -> Hw.Exec.payload) option;
+}
+
+type t
+
+val create :
+  inst:Instance.t ->
+  kernel:(unit -> Oid.t) ->
+  space_oid:(int -> (Oid.t, Api.error) result) ->
+  t
+
+val entry : t -> int -> entry option
+val oid_of : t -> int -> Oid.t option
+
+val spawn :
+  t ->
+  space_tag:int ->
+  priority:int ->
+  ?affinity:int ->
+  ?lock:bool ->
+  (unit -> Hw.Exec.payload) ->
+  (int, Api.error) result
+(** Create a thread in the tagged space and load it; returns its stable
+    local identifier. *)
+
+val deschedule : t -> int -> (unit, Api.error) result
+val schedule : t -> int -> (Oid.t, Api.error) result
+val set_priority : t -> int -> int -> (unit, Api.error) result
+
+val handle_writeback :
+  t -> tag:int -> state:Thread_obj.saved -> reason:Wb.reason -> priority:int -> unit
+
+val running : t -> int -> bool
+val exited : t -> int -> bool
+val reload_retries : t -> int
+val iter : t -> (entry -> unit) -> unit

@@ -1,0 +1,1 @@
+lib/baseline/microkernel.ml: Hashtbl Hw List Runtime

@@ -1,0 +1,1 @@
+lib/baseline/runtime.ml: Effect Hw List

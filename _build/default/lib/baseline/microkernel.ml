@@ -1,0 +1,97 @@
+(* V-style micro-kernel baseline: copy-based IPC through the kernel.
+
+   The contrast of section 2.2: in conventional micro-kernels, interprocess
+   communication moves data through the kernel — a trap, a copyin to a
+   kernel buffer, a scheduling hand-off to the receiver, a copyout, and the
+   same again for the reply.  "Communication performance is limited ...
+   [by] the software overhead of copying, queuing and delivering messages."
+   Memory-based messaging removes the kernel from the data path entirely;
+   this baseline is the other side of experiment X2's comparison. *)
+
+type Hw.Exec.payload +=
+  | Send of int * int list (* port, message words *)
+  | Receive of int (* port *)
+  | Reply of int * int list
+  | Msg of int list
+  | Ret_unit
+
+let c_decode = 200
+let c_queue = 150 (* enqueue/dequeue a message descriptor *)
+let c_copy_per_word = 3 (* copyin or copyout, per word *)
+
+type port = {
+  mutable queue : int list list;
+  mutable waiting : Runtime.thread list;
+  mutable replies : int list list;
+  mutable reply_waiting : Runtime.thread list;
+}
+
+type t = {
+  rt : Runtime.t;
+  ports : (int, port) Hashtbl.t;
+  mutable messages : int;
+}
+
+let port_of t pid =
+  match Hashtbl.find_opt t.ports pid with
+  | Some p -> p
+  | None ->
+    let p = { queue = []; waiting = []; replies = []; reply_waiting = [] } in
+    Hashtbl.replace t.ports pid p;
+    p
+
+let rec create () =
+  let t = { rt = Runtime.create (); ports = Hashtbl.create 8; messages = 0 } in
+  t.rt.Runtime.syscall <- (fun rt th p -> service t rt th p);
+  t
+
+and service t rt (th : Runtime.thread) payload =
+  match payload with
+  | Send (pid, words) ->
+    let port = port_of t pid in
+    t.messages <- t.messages + 1;
+    (* copyin, queue, wake the receiver *)
+    Runtime.charge rt (c_decode + c_queue + (c_copy_per_word * List.length words));
+    port.queue <- port.queue @ [ words ];
+    List.iter Runtime.wake port.waiting;
+    port.waiting <- [];
+    Some Ret_unit
+  | Receive pid -> (
+    let port = port_of t pid in
+    Runtime.charge rt (c_decode + c_queue);
+    match port.queue with
+    | words :: rest ->
+      port.queue <- rest;
+      (* copyout to the receiver plus a scheduling hand-off *)
+      Runtime.charge rt ((c_copy_per_word * List.length words) + Hw.Cost.context_switch);
+      Some (Msg words)
+    | [] ->
+      port.waiting <- th :: port.waiting;
+      None)
+  | Reply (pid, words) ->
+    let port = port_of t pid in
+    Runtime.charge rt (c_decode + c_queue + (c_copy_per_word * List.length words));
+    port.replies <- port.replies @ [ words ];
+    List.iter Runtime.wake port.reply_waiting;
+    port.reply_waiting <- [];
+    Some Ret_unit
+  | other -> Some other
+
+(* -- Client/server stubs -- *)
+
+let send port words = ignore (Hw.Exec.trap (Send (port, words)))
+
+let receive port =
+  match Hw.Exec.trap (Receive port) with Msg words -> words | _ -> []
+
+(** Synchronous RPC as a client would see it: send the request and receive
+    the reply on the paired reply port. *)
+let call ~port words =
+  send port words;
+  receive (port + 1)
+
+(** One server exchange: receive on [port], compute [handle], reply. *)
+let serve_one ~port ~handle =
+  let req = receive port in
+  let rsp = handle req in
+  send (port + 1) rsp

@@ -1,0 +1,85 @@
+(* Minimal execution runtime for the baseline (comparator) kernels.
+
+   The paper compares the Cache Kernel against conventional monolithic
+   kernels (Ultrix, SunOS, Mach 2.5's UNIX server path).  The baselines
+   only need to regenerate *cost shapes* — trap/syscall latency, copy-based
+   IPC cost versus message size, static-table exhaustion — so they run on a
+   single-CPU cooperative runtime over the same {!Hw.Exec} instruction
+   streams and the same hardware cost constants, with kernel services
+   executed synchronously at trap time (exactly what makes them monolithic:
+   no forwarding, no user-level policy, no writeback). *)
+
+type thread = {
+  id : int;
+  mutable status : Hw.Exec.status;
+  mutable blocked : bool;
+  mutable exited : bool;
+}
+
+type t = {
+  clock : Hw.Sim_clock.t;
+  mutable threads : thread list;
+  mutable next_id : int;
+  mutable syscall : t -> thread -> Hw.Exec.payload -> Hw.Exec.payload option;
+      (* [None] means the thread blocks; the trap is retried when woken *)
+  mutable switches : int;
+}
+
+let create () =
+  {
+    clock = Hw.Sim_clock.create ();
+    threads = [];
+    next_id = 1;
+    syscall = (fun _ _ p -> Some p);
+    switches = 0;
+  }
+
+let charge t c = Hw.Sim_clock.advance t.clock c
+let now_us t = Hw.Sim_clock.us t.clock
+
+let spawn t body =
+  let th =
+    { id = t.next_id; status = Hw.Exec.start body; blocked = false; exited = false }
+  in
+  t.next_id <- t.next_id + 1;
+  t.threads <- t.threads @ [ th ];
+  th
+
+let wake (th : thread) = th.blocked <- false
+
+(* One step of one thread.  Memory effects are not supported here — the
+   baselines express their data movement as kernel-side copy charges. *)
+let step t (th : thread) =
+  match th.status with
+  | Hw.Exec.Done _ | Hw.Exec.Failed _ -> th.exited <- true
+  | Hw.Exec.On_compute (n, k) ->
+    charge t n;
+    th.status <- Effect.Deep.continue k ()
+  | Hw.Exec.On_time k -> th.status <- Effect.Deep.continue k (now_us t)
+  | Hw.Exec.On_trap (p, k) -> (
+    charge t Hw.Cost.trap_entry;
+    match t.syscall t th p with
+    | Some reply ->
+      charge t Hw.Cost.trap_exit;
+      th.status <- Effect.Deep.continue k reply
+    | None -> th.blocked <- true (* retried when woken *))
+  | Hw.Exec.On_read _ | Hw.Exec.On_write _ ->
+    th.status <- Hw.Exec.Failed (Failure "baseline runtime has no virtual memory")
+
+(** Cooperative round-robin until every thread exits or blocks. *)
+let run ?(max_steps = 10_000_000) t =
+  let steps = ref 0 in
+  let progress = ref true in
+  while !progress && !steps < max_steps do
+    progress := false;
+    List.iter
+      (fun th ->
+        if (not th.exited) && not th.blocked then begin
+          t.switches <- t.switches + 1;
+          step t th;
+          incr steps;
+          progress := true
+        end)
+      t.threads;
+    t.threads <- List.filter (fun th -> not th.exited) t.threads
+  done

@@ -1,0 +1,1 @@
+lib/core/api.ml: Array Caches Config Fmt Hw Instance Kernel_obj Mappings Oid Quota Replacement Result Scheduler Signals Space_obj Stats Thread_obj Trace Wb

@@ -1,0 +1,1 @@
+lib/core/api.mli: Fmt Hw Instance Kernel_obj Oid Thread_obj

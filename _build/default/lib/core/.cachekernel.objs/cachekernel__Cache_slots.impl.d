@@ -1,0 +1,1 @@
+lib/core/cache_slots.ml: Array Fun List Oid

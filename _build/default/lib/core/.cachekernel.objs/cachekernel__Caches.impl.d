@@ -1,0 +1,1 @@
+lib/core/caches.ml: Cache_slots Kernel_obj Oid Space_obj Thread_obj

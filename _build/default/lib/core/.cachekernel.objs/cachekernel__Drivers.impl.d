@@ -1,0 +1,1 @@
+lib/core/drivers.ml: Array Bytes Hashtbl Hw Instance Signals

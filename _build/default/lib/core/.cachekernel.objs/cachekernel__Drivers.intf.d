@@ -1,0 +1,1 @@
+lib/core/drivers.mli: Bytes Hw Instance

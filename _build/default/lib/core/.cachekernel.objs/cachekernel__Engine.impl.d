@@ -1,0 +1,1 @@
+lib/core/engine.ml: Api Array Caches Config Effect Fmt Fun Hw Instance Kernel_obj List Logs Mappings Oid Option Printexc Queue Quota Replacement Scheduler Signals Space_obj Stats Thread_obj Trace Wb

@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Caches Config Hashtbl Hw Kernel_obj Mappings Oid Queue Scheduler Stats Thread_obj Trace

@@ -1,0 +1,1 @@
+lib/core/kernel_obj.ml: Array Fmt Hw Oid Queue Wb

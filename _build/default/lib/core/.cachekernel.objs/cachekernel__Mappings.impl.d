@@ -1,0 +1,1 @@
+lib/core/mappings.ml: Array Fun Hashtbl Hw List Oid

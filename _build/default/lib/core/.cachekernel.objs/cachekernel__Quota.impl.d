@@ -1,0 +1,1 @@
+lib/core/quota.ml: Array Kernel_obj

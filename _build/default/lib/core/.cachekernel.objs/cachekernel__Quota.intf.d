@@ -1,0 +1,1 @@
+lib/core/quota.mli: Hw Kernel_obj

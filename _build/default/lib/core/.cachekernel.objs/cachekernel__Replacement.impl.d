@@ -1,0 +1,1 @@
+lib/core/replacement.ml: Array Caches Config Hw Instance Kernel_obj List Mappings Oid Space_obj Stats Thread_obj Trace Wb

@@ -1,0 +1,1 @@
+lib/core/signals.ml: Caches Config Hashtbl Hw Instance List Mappings Oid Stats Thread_obj Trace

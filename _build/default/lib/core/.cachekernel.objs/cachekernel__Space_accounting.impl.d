@@ -1,0 +1,1 @@
+lib/core/space_accounting.ml: Caches Config Fmt Hw Instance Mappings Space_obj

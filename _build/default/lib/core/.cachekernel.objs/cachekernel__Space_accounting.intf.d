@@ -1,0 +1,1 @@
+lib/core/space_accounting.mli: Fmt Instance

@@ -1,0 +1,1 @@
+lib/core/space_obj.ml: Fmt Hw Oid

@@ -1,0 +1,1 @@
+lib/core/thread_obj.ml: Fmt Hw List Oid Queue

@@ -1,0 +1,1 @@
+lib/core/wb.ml: Fmt Hw Oid Thread_obj

@@ -1,0 +1,1 @@
+lib/core/wb.mli: Fmt Hw Oid Thread_obj

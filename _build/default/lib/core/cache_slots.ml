@@ -1,0 +1,113 @@
+(* Generic descriptor cache: a fixed array of slots with generation-tagged
+   identifiers and clock (second-chance) victim selection.
+
+   The kernel, address-space and thread caches are instances of this
+   functor ({!Caches}); the mapping cache has its own structure
+   ({!Mappings}) because mappings are identified by (space, virtual
+   address) rather than by a general object identifier — the paper's
+   space-saving decision of section 2.1. *)
+
+module type DESC = sig
+  type t
+
+  val kind : Oid.kind
+  val get_oid : t -> Oid.t
+  val set_oid : t -> Oid.t -> unit
+  val locked : t -> bool
+
+  val evictable : t -> bool
+  (** extra per-type eviction condition (e.g. a thread currently executing
+      on a CPU is not evictable until descheduled) *)
+
+  val recently_used : t -> bool
+  val clear_recently_used : t -> unit
+end
+
+module Make (D : DESC) = struct
+  type t = {
+    slots : D.t option array;
+    gens : int array;
+    mutable free : int list;
+    mutable hand : int; (* clock hand for victim scans *)
+    mutable live : int;
+  }
+
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Cache_slots.create: capacity must be positive";
+    {
+      slots = Array.make capacity None;
+      gens = Array.make capacity 0;
+      free = List.init capacity Fun.id;
+      hand = 0;
+      live = 0;
+    }
+
+  let capacity t = Array.length t.slots
+  let live t = t.live
+  let is_full t = t.live = Array.length t.slots
+
+  (** Install [d] in a free slot, assigning and returning its identifier.
+      Returns [None] when the cache is full: the caller must first select a
+      victim with {!victim} and write it back. *)
+  let load t d =
+    match t.free with
+    | [] -> None
+    | slot :: rest ->
+      t.free <- rest;
+      t.slots.(slot) <- Some d;
+      t.live <- t.live + 1;
+      let oid = Oid.v ~kind:D.kind ~slot ~gen:t.gens.(slot) in
+      D.set_oid d oid;
+      Some oid
+
+  (** Look up by identifier; fails on a stale generation (the object was
+      written back and possibly reloaded since the id was issued). *)
+  let find t (oid : Oid.t) =
+    if oid.Oid.kind <> D.kind || oid.Oid.slot < 0 || oid.Oid.slot >= Array.length t.slots
+    then None
+    else if t.gens.(oid.Oid.slot) <> oid.Oid.gen then None
+    else t.slots.(oid.Oid.slot)
+
+  (** Slot contents regardless of generation (engine-internal use). *)
+  let get t ~slot =
+    if slot < 0 || slot >= Array.length t.slots then None else t.slots.(slot)
+
+  (** Free the slot holding [oid]; bumping the generation invalidates every
+      outstanding copy of the identifier. *)
+  let unload t (oid : Oid.t) =
+    match find t oid with
+    | None -> None
+    | Some d ->
+      t.slots.(oid.Oid.slot) <- None;
+      t.gens.(oid.Oid.slot) <- t.gens.(oid.Oid.slot) + 1;
+      t.free <- oid.Oid.slot :: t.free;
+      t.live <- t.live - 1;
+      Some d
+
+  (** Clock scan with second chance: returns an unlocked, evictable
+      descriptor, preferring ones not recently used.  [None] if every live
+      descriptor is locked or unevictable. *)
+  let victim t =
+    let n = Array.length t.slots in
+    let result = ref None in
+    let fallback = ref None in
+    let i = ref 0 in
+    while !result = None && !i < 2 * n do
+      (match t.slots.(t.hand) with
+      | Some d when (not (D.locked d)) && D.evictable d ->
+        if D.recently_used d then D.clear_recently_used d
+        else result := Some d;
+        if !fallback = None then fallback := Some d
+      | _ -> ());
+      t.hand <- (t.hand + 1) mod n;
+      incr i
+    done;
+    (match (!result, !fallback) with Some d, _ -> Some d | None, f -> f)
+
+  let iter t f = Array.iter (function None -> () | Some d -> f d) t.slots
+
+  let fold t f acc =
+    Array.fold_left (fun acc -> function None -> acc | Some d -> f acc d) acc t.slots
+
+  let to_list t = fold t (fun acc d -> d :: acc) [] |> List.rev
+end

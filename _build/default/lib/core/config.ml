@@ -1,0 +1,92 @@
+(* Cache Kernel configuration.
+
+   Descriptor sizes and default cache capacities are Table 1 of the paper.
+   Capacities are configurable because several experiments (C1, C2) sweep a
+   working set around a reduced capacity for tractability; the defaults are
+   the prototype's values.
+
+   The cost constants are per-suboperation cycle charges for Cache Kernel
+   code paths.  They are *inputs* to the model — rough figures for short
+   supervisor code sequences on a 25 MHz 68040 — and the Table 2 / section
+   5.3 numbers reported by the benchmarks *emerge* from how many of these
+   suboperations each kernel operation performs. *)
+
+type t = {
+  (* Table 1: cache capacities *)
+  kernel_cache : int;
+  space_cache : int;
+  thread_cache : int;
+  mapping_cache : int;
+  (* Table 1: descriptor sizes, bytes (space accounting) *)
+  kernel_desc_bytes : int;
+  space_desc_bytes : int;
+  thread_desc_bytes : int;
+  mapping_desc_bytes : int;
+  (* scheduling *)
+  priorities : int; (* priority levels, 0 = lowest, priorities-1 = highest *)
+  time_slice : Hw.Cost.cycles;
+  quota_epoch : Hw.Cost.cycles; (* processor-percentage accounting window *)
+  (* signals *)
+  signal_queue_depth : int;
+  (* limits *)
+  max_fault_depth : int; (* nested fault forwarding before the thread is killed *)
+  max_locked_default : int; (* default locked-object quota per kernel *)
+  (* ablations *)
+  rtlb_enabled : bool;
+      (* use the per-processor reverse TLB for signal delivery; disabling
+         it forces every signal through the two-stage physical-map lookup
+         (the ablation of section 4.1's design choice) *)
+}
+
+let default =
+  {
+    kernel_cache = 16;
+    space_cache = 64;
+    thread_cache = 256;
+    mapping_cache = 65536;
+    kernel_desc_bytes = 2160;
+    space_desc_bytes = 60;
+    thread_desc_bytes = 532;
+    mapping_desc_bytes = 16;
+    priorities = 32;
+    time_slice = Hw.Cost.cycles_of_us 10_000.0 (* 10 ms *);
+    quota_epoch = Hw.Cost.cycles_of_us 100_000.0 (* 100 ms *);
+    signal_queue_depth = 64;
+    max_fault_depth = 4;
+    max_locked_default = 8;
+    rtlb_enabled = true;
+  }
+
+(* Cycle costs of Cache Kernel suboperations (supervisor code sequences). *)
+
+let c_validate = 150 (* decode arguments, validate an object identifier *)
+let c_slot_alloc = 200 (* allocate a descriptor slot, assign generation *)
+let c_slot_free = 120
+let c_hash_update = 180 (* insert/remove one hash-chained record *)
+let c_descriptor_copy_per_word = 10 (* copy descriptor state in/out, per 4 bytes *)
+let c_sched_enqueue = 150
+let c_sched_dequeue = 150
+let c_writeback_record = 2400 (* marshal a writeback record onto the channel *)
+let c_writeback_signal = 500 (* notify the owning kernel's writeback channel *)
+let c_kernel_writeback = 1500
+(* a kernel-object writeback is a short record to the first kernel: no bulk
+   descriptor state moves (Table 2's cheap Kernel unload) *)
+
+let c_quota_account = 25
+let c_access_check = 80 (* memory-access-array page-group check *)
+let c_rtlb_update = 60
+let c_signal_queue = 100 (* enqueue a pending signal on a thread *)
+let c_signal_dispatch = 300 (* unblock and ready a waiting signal thread *)
+let c_pte_install = 500 (* build and link a page-table entry *)
+let c_combined_resume = 150
+(* return path of the combined load-mapping-and-resume call: cheaper than a
+   separate exception-complete trap plus kernel exit *)
+
+let c_pte_remove = 350
+let c_cow_copy_per_word = 2 (* deferred-copy page duplication, per word *)
+let c_space_table_init = 2100 (* allocate and clear the top-level page table *)
+let c_thread_init = 1200 (* register file, FP state, kernel stack binding *)
+let c_kernel_init = 500 (* memory access array and quota state setup *)
+
+(** Cycles to copy a descriptor of [bytes] bytes. *)
+let descriptor_copy bytes = c_descriptor_copy_per_word * ((bytes + 3) / 4)

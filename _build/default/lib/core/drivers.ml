@@ -1,0 +1,143 @@
+(* Cache Kernel device drivers (section 2.2).
+
+   Devices are exposed to application kernels as memory-based messaging:
+   transmission and reception regions are physical pages that application
+   kernels map (usually in message mode, with a signal thread on the
+   reception pages).  A client transmits by writing a packet into the
+   transmission page and signalling on it; reception deposits the packet
+   into a reception page and raises an address-valued signal there.
+
+   Two drivers demonstrate the paper's contrast:
+
+   - {!Fiber}: the fiber-channel interface is designed for the
+     memory-mapped model, so the driver is little more than region mapping
+     plus a transmit hook (the prototype's driver is 276 lines).
+
+   - {!Ethernet}: the Ethernet chip has a conventional DMA interface, so
+     the driver must run a descriptor ring and copy between DMA buffers and
+     the messaging regions — visibly more mechanism for the same interface.
+
+   Packet layout in a transmission/reception page:
+     word 0: destination node id   word 1: tag
+     word 2: payload length        bytes 12..: payload *)
+
+open Instance
+
+let hdr_dst = 0
+let hdr_tag = 4
+let hdr_len = 8
+let payload_off = 12
+let max_payload = Hw.Addr.page_size - payload_off
+
+let read_packet mem ~pfn =
+  let base = Hw.Addr.addr_of_page pfn in
+  let dst = Hw.Phys_mem.read_word mem (base + hdr_dst) in
+  let tag = Hw.Phys_mem.read_word mem (base + hdr_tag) in
+  let len = min max_payload (Hw.Phys_mem.read_word mem (base + hdr_len)) in
+  let data = Hw.Phys_mem.read_bytes mem (base + payload_off) len in
+  (dst, tag, data)
+
+let write_packet mem ~pfn ~src ~tag data =
+  let base = Hw.Addr.addr_of_page pfn in
+  let len = min max_payload (Bytes.length data) in
+  Hw.Phys_mem.write_word mem (base + hdr_dst) src; (* sender, on receive side *)
+  Hw.Phys_mem.write_word mem (base + hdr_tag) tag;
+  Hw.Phys_mem.write_word mem (base + hdr_len) len;
+  Hw.Phys_mem.write_bytes mem (base + payload_off) (Bytes.sub data 0 len)
+
+module Fiber = struct
+  type t = {
+    inst : Instance.t;
+    nic : Hw.Nic.Fiber.t;
+    tx_pfn : int;
+    rx_pfns : int array;
+    mutable rx_next : int;
+  }
+
+  (** Attach the fiber-channel driver.  [tx_pfn] is the transmission
+      doorbell page: a client stages a packet in an ordinary buffer page
+      and then writes that buffer's frame number into the doorbell — one
+      message-mode store whose "signal address indicat[es] the packet
+      buffer to transmit".  Received packets are deposited round-robin into
+      [rx_pfns] and signalled on the page. *)
+  let attach inst nic ~tx_pfn ~rx_pfns =
+    let t = { inst; nic; tx_pfn; rx_pfns; rx_next = 0 } in
+    Hashtbl.replace inst.device_hooks tx_pfn (fun offset ->
+        let mem = inst.node.Hw.Mpm.mem in
+        let buf_pfn = Hw.Phys_mem.read_word mem (Hw.Addr.addr_of_page tx_pfn + offset) in
+        if buf_pfn > 0 && buf_pfn < Hw.Mpm.pages inst.node then begin
+          let dst, tag, data = read_packet mem ~pfn:buf_pfn in
+          Hw.Nic.Fiber.transmit nic ~dst ~tag data
+        end);
+    Hw.Nic.Fiber.set_receiver nic (fun pkt ->
+        let pfn = t.rx_pfns.(t.rx_next) in
+        t.rx_next <- (t.rx_next + 1) mod Array.length t.rx_pfns;
+        write_packet inst.node.Hw.Mpm.mem ~pfn ~src:pkt.Hw.Interconnect.src
+          ~tag:pkt.Hw.Interconnect.tag pkt.Hw.Interconnect.data;
+        (* Address-valued signal on the reception page wakes the reader. *)
+        Signals.signal_page inst ~pfn ~offset:0);
+    t
+end
+
+module Ethernet = struct
+  (* The DMA descriptor ring the driver must maintain to adapt the chip's
+     interface to memory-based messaging. *)
+  type dma_slot = { buf_pfn : int; mutable busy : bool }
+
+  type t = {
+    inst : Instance.t;
+    nic : Hw.Nic.Ethernet.t;
+    tx_pfn : int;
+    rx_pfns : int array;
+    tx_ring : dma_slot array;
+    mutable tx_head : int;
+    mutable rx_next : int;
+    mutable tx_dropped : int;
+  }
+
+  (** Attach the Ethernet driver with a DMA ring of [ring] buffers carved
+      from [dma_pfns]. *)
+  let attach inst nic ~tx_pfn ~rx_pfns ~dma_pfns =
+    let tx_ring = Array.map (fun pfn -> { buf_pfn = pfn; busy = false }) dma_pfns in
+    let t = { inst; nic; tx_pfn; rx_pfns; tx_ring; tx_head = 0; rx_next = 0; tx_dropped = 0 } in
+    Hashtbl.replace inst.device_hooks tx_pfn (fun offset ->
+        (* The doorbell write names the staged packet buffer.  Copy it into
+           a DMA buffer, build a descriptor, and kick the chip; the buffer
+           is released by the completion callback. *)
+        let mem = inst.node.Hw.Mpm.mem in
+        let buf_pfn = Hw.Phys_mem.read_word mem (Hw.Addr.addr_of_page tx_pfn + offset) in
+        let slot = t.tx_ring.(t.tx_head) in
+        if buf_pfn <= 0 || buf_pfn >= Hw.Mpm.pages inst.node then ()
+        else if slot.busy then t.tx_dropped <- t.tx_dropped + 1
+        else begin
+          t.tx_head <- (t.tx_head + 1) mod Array.length t.tx_ring;
+          slot.busy <- true;
+          let dst, tag, data = read_packet mem ~pfn:buf_pfn in
+          write_packet mem ~pfn:slot.buf_pfn ~src:dst ~tag data;
+          charge inst (Hw.Cost.ethernet_dma_setup + (Bytes.length data / 4));
+          Hw.Nic.Ethernet.transmit nic ~dst
+            ~paddr:(Hw.Addr.addr_of_page slot.buf_pfn)
+            ~len:(payload_off + Bytes.length data)
+            ~tag
+            ~done_:(fun () -> slot.busy <- false)
+            ()
+        end);
+    Hw.Nic.Ethernet.set_receiver nic (fun pkt ->
+        (* The chip DMA'd into a driver buffer; demultiplex into the next
+           reception region and signal the input stream's thread. *)
+        let pfn = t.rx_pfns.(t.rx_next) in
+        t.rx_next <- (t.rx_next + 1) mod Array.length t.rx_pfns;
+        let data =
+          if Bytes.length pkt.Hw.Interconnect.data > payload_off then
+            Bytes.sub pkt.Hw.Interconnect.data payload_off
+              (Bytes.length pkt.Hw.Interconnect.data - payload_off)
+          else pkt.Hw.Interconnect.data
+        in
+        write_packet inst.node.Hw.Mpm.mem ~pfn
+          ~src:(pkt.Hw.Interconnect.src - 1000)
+          ~tag:pkt.Hw.Interconnect.tag data;
+        Signals.signal_page inst ~pfn ~offset:0);
+    t
+
+  let tx_dropped t = t.tx_dropped
+end

@@ -1,0 +1,46 @@
+(** Cache Kernel device drivers (section 2.2).
+
+    Devices appear to application kernels as memory-based messaging: a
+    client stages a packet in a buffer page and writes the buffer's frame
+    number into a message-mode doorbell page ("the signal address
+    indicating the packet buffer to transmit"); reception deposits packets
+    into reception pages and raises address-valued signals there.
+
+    {!Fiber} is the memory-mapped class (a tiny driver, like the
+    prototype's 276-line fiber-channel driver); {!Ethernet} adapts a
+    conventional DMA chip to the same interface with visibly more
+    mechanism — the contrast the paper draws. *)
+
+val hdr_dst : int
+val hdr_tag : int
+val hdr_len : int
+val payload_off : int
+val max_payload : int
+
+val read_packet : Hw.Phys_mem.t -> pfn:int -> int * int * Bytes.t
+(** (destination, tag, payload) from a staged packet page. *)
+
+val write_packet : Hw.Phys_mem.t -> pfn:int -> src:int -> tag:int -> Bytes.t -> unit
+
+module Fiber : sig
+  type t
+
+  val attach : Instance.t -> Hw.Nic.Fiber.t -> tx_pfn:int -> rx_pfns:int array -> t
+  (** Install the driver: transmissions on doorbell writes to [tx_pfn],
+      receptions round-robin into [rx_pfns] with signals on the page. *)
+end
+
+module Ethernet : sig
+  type t
+
+  val attach :
+    Instance.t ->
+    Hw.Nic.Ethernet.t ->
+    tx_pfn:int ->
+    rx_pfns:int array ->
+    dma_pfns:int array ->
+    t
+  (** Install the driver with a DMA descriptor ring over [dma_pfns]. *)
+
+  val tx_dropped : t -> int
+end

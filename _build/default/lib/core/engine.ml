@@ -1,0 +1,494 @@
+(* The execution engine: a discrete-event simulation of the MPM's
+   processors running loaded threads under the Cache Kernel.
+
+   Each step resumes the current thread of one CPU up to its next effect
+   point (compute charge, memory access, trap), charges the cycle costs of
+   whatever the hardware and the Cache Kernel did, and handles the
+   scheduling, fault-forwarding and signal consequences.  The six-step
+   page-fault protocol of Figure 2 is realised here:
+
+     1. the access faults in {!do_access} and traps to the Cache Kernel;
+     2. {!handle_fault} saves the thread state (its suspended continuation)
+        and switches it onto its application kernel's handler;
+     3. the handler frame runs application-kernel code;
+     4. the handler loads a new mapping through {!Api};
+     5. the handler returns (or used the combined load-and-resume call);
+     6. the faulting access is retried and the thread resumes. *)
+
+open Instance
+
+exception Kernel_bug of string
+
+let continue_unit (k : (unit, Hw.Exec.status) Effect.Deep.continuation) =
+  Effect.Deep.continue k ()
+
+(* The address space a frame executes in: the thread's own space for user
+   frames, the application kernel's space for handler frames. *)
+let frame_space t (th : Thread_obj.t) (frame : Thread_obj.frame) =
+  match frame.Thread_obj.mode with
+  | Thread_obj.User -> find_space t th.Thread_obj.space
+  | Thread_obj.Kernel_mode -> (
+    match find_kernel t frame.Thread_obj.kernel with
+    | Some k when not (Oid.is_none k.Kernel_obj.space) -> find_space t k.Kernel_obj.space
+    | _ -> None)
+
+(** Abnormal termination: the thread's owner learns through a writeback
+    with reason [Exited]; remaining state is discarded. *)
+let kill_thread t (th : Thread_obj.t) msg =
+  Logs.warn (fun m ->
+      m "node%d: killing thread %a: %s" (node_id t) Oid.pp th.Thread_obj.oid msg);
+  (match t.running.(t.active_cpu) with
+  | Some oid when Oid.equal oid th.Thread_obj.oid -> t.running.(t.active_cpu) <- None
+  | _ -> ());
+  th.Thread_obj.frames <- [];
+  Replacement.unload_thread_now t ~reason:Wb.Exited th
+
+(** Normal completion of the outermost (user) frame. *)
+let thread_exited t (th : Thread_obj.t) =
+  (match t.running.(t.active_cpu) with
+  | Some oid when Oid.equal oid th.Thread_obj.oid -> t.running.(t.active_cpu) <- None
+  | _ -> ());
+  th.Thread_obj.frames <- [];
+  Replacement.unload_thread_now t ~reason:Wb.Exited th
+
+(* Push an application-kernel handler frame onto the thread and start it.
+   The handler body runs with the instance's active CPU set, so direct API
+   calls it makes are charged to the right processor. *)
+let push_handler t (th : Thread_obj.t) ~(kernel : Kernel_obj.t) body =
+  th.Thread_obj.fault_depth <- th.Thread_obj.fault_depth + 1;
+  let frame =
+    Thread_obj.frame ~mode:Thread_obj.Kernel_mode ~kernel:kernel.Kernel_obj.oid
+      (Hw.Exec.Done Hw.Exec.Unit_payload)
+  in
+  Thread_obj.push_frame th frame;
+  trace t (Trace.Handler_running { thread = th.Thread_obj.oid });
+  frame.Thread_obj.status <- Hw.Exec.start body
+
+(** Figure 2 steps 1-3: trap to the Cache Kernel, switch the thread onto
+    its application kernel's exception handler. *)
+(* A thread re-faulting on the same page without completing an access is
+   making no progress (a handler that cannot serve the page); bound it. *)
+let max_fault_repeat = 64
+
+let handle_fault t (th : Thread_obj.t) (frame : Thread_obj.frame) (fault : Hw.Mmu.fault) =
+  trace t
+    (Trace.Fault_trap
+       {
+         thread = th.Thread_obj.oid;
+         va = fault.Hw.Mmu.va;
+         kind = Fmt.str "%a" Hw.Mmu.pp_fault_kind fault.Hw.Mmu.kind;
+       });
+  charge t Hw.Cost.trap_entry;
+  let key = Hw.Addr.page_of fault.Hw.Mmu.va in
+  if th.Thread_obj.fault_key = key then
+    th.Thread_obj.fault_repeat <- th.Thread_obj.fault_repeat + 1
+  else begin
+    th.Thread_obj.fault_key <- key;
+    th.Thread_obj.fault_repeat <- 1
+  end;
+  (* Deferred-copy fast path: a write fault on a copy-on-write mapping is
+     resolved inside the Cache Kernel by copying the source frame. *)
+  let cow_resolved =
+    match (fault.Hw.Mmu.kind, fault.Hw.Mmu.access, frame_space t th frame) with
+    | Hw.Mmu.Protection_violation, Hw.Mmu.Write, Some sp -> (
+      match
+        Mappings.find t.mappings ~space_slot:(Space_obj.asid sp) ~va:fault.Hw.Mmu.va
+      with
+      | Some m when m.Mappings.cow_dst <> None ->
+        let dst = Option.get m.Mappings.cow_dst in
+        let src = Mappings.pfn m in
+        Hw.Phys_mem.copy_page t.node.Hw.Mpm.mem ~src ~dst;
+        charge t (Config.c_cow_copy_per_word * (Hw.Addr.page_size / 4));
+        Replacement.flush_rtlbs_pfn t ~pfn:src;
+        Mappings.retarget t.mappings m ~new_pfn:dst;
+        m.Mappings.pte.Hw.Page_table.flags <-
+          { m.Mappings.pte.Hw.Page_table.flags with Hw.Page_table.writable = true };
+        Mappings.clear_cow t.mappings m;
+        t.stats.Stats.cow_copies <- t.stats.Stats.cow_copies + 1;
+        true
+      | _ -> false)
+    | _ -> false
+  in
+  if not cow_resolved then begin
+    if th.Thread_obj.fault_repeat > max_fault_repeat then
+      kill_thread t th
+        (Fmt.str "no progress after %d repeated faults: %a" th.Thread_obj.fault_repeat
+           Hw.Mmu.pp_fault fault)
+    else if th.Thread_obj.fault_depth >= t.config.Config.max_fault_depth then
+      kill_thread t th
+        (Fmt.str "fault depth %d exceeded handling %a" th.Thread_obj.fault_depth
+           Hw.Mmu.pp_fault fault)
+    else begin
+      let target =
+        match frame.Thread_obj.mode with
+        | Thread_obj.User -> (
+          match frame_space t th frame with
+          | Some sp -> find_kernel t sp.Space_obj.owner
+          | None -> find_kernel t th.Thread_obj.owner)
+        | Thread_obj.Kernel_mode ->
+          (* A fault inside an application kernel forwards to the kernel
+             that owns it: the system resource manager. *)
+          if Oid.equal frame.Thread_obj.kernel t.first_kernel then None
+          else find_kernel t t.first_kernel
+      in
+      match target with
+      | None ->
+        kill_thread t th
+          (Fmt.str "unhandlable %a (no owning kernel)" Hw.Mmu.pp_fault fault)
+      | Some kernel ->
+        charge t Hw.Cost.exception_forward;
+        t.stats.Stats.faults_forwarded <- t.stats.Stats.faults_forwarded + 1;
+        trace t
+          (Trace.Forward_to_kernel
+             { thread = th.Thread_obj.oid; kernel = kernel.Kernel_obj.oid });
+        let ctx =
+          {
+            Kernel_obj.thread = th.Thread_obj.oid;
+            va = fault.Hw.Mmu.va;
+            access = fault.Hw.Mmu.access;
+            kind = fault.Hw.Mmu.kind;
+          }
+        in
+        push_handler t th ~kernel (fun () ->
+            kernel.Kernel_obj.handlers.Kernel_obj.on_fault ctx;
+            Hw.Exec.Unit_payload)
+    end
+  end
+
+(* A virtual-memory access by the current frame: translate, charge, and on
+   success run [commit] with the translation.  Faults divert to the
+   forwarding machinery; the paused status is left in place so the access
+   retries when the handler completes (Figure 2 step 6). *)
+let do_access t (th : Thread_obj.t) (frame : Thread_obj.frame) ~va ~access ~commit =
+  match frame_space t th frame with
+  | None ->
+    kill_thread t th
+      (Fmt.str "memory access at %a with no address space" Hw.Addr.pp_addr va)
+  | Some sp -> (
+    let cpu = cpu t in
+    match
+      Hw.Mmu.translate ~tlb:cpu.Hw.Cpu.tlb ~table:sp.Space_obj.table
+        ~asid:(Space_obj.asid sp) ~va ~access
+    with
+    | Ok tr ->
+      if th.Thread_obj.fault_repeat <> 0 then begin
+        th.Thread_obj.fault_repeat <- 0;
+        th.Thread_obj.fault_key <- -1
+      end;
+      let line = Hw.Cache_sim.access t.node.Hw.Mpm.cache tr.Hw.Mmu.paddr in
+      charge t (tr.Hw.Mmu.cost + Hw.Mmu.data_cost line);
+      commit tr
+    | Error fault -> handle_fault t th frame fault)
+
+(* Trap instruction processing: Cache Kernel calls are executed here;
+   anything else forwards to the owning application kernel (section 2.3).
+   A payload left pending by a reload-after-unload is delivered first. *)
+let do_trap t (th : Thread_obj.t) (frame : Thread_obj.frame) p k =
+  match th.Thread_obj.resume_value with
+  | Some v ->
+    th.Thread_obj.resume_value <- None;
+    charge t Hw.Cost.trap_exit;
+    frame.Thread_obj.status <- Effect.Deep.continue k v
+  | None -> (
+    charge t Hw.Cost.trap_entry;
+    match p with
+    | Api.Ck_yield ->
+      th.Thread_obj.slice_left <- 0;
+      charge t Hw.Cost.trap_exit;
+      frame.Thread_obj.status <- Effect.Deep.continue k Hw.Exec.Unit_payload
+    | Api.Ck_exit -> thread_exited t th
+    | Api.Ck_wait_signal ->
+      if Queue.is_empty th.Thread_obj.signal_q then
+        (* Park on the trap: the status is re-evaluated when a signal
+           arrives and the scheduler runs the thread again. *)
+        th.Thread_obj.state <- Thread_obj.Blocked Thread_obj.On_signal
+      else begin
+        let va = Queue.pop th.Thread_obj.signal_q in
+        charge t Hw.Cost.trap_exit;
+        frame.Thread_obj.status <- Effect.Deep.continue k (Api.Ck_signal va)
+      end
+    | p -> (
+      let target =
+        match frame.Thread_obj.mode with
+        | Thread_obj.User -> find_kernel t th.Thread_obj.owner
+        | Thread_obj.Kernel_mode ->
+          if Oid.equal frame.Thread_obj.kernel t.first_kernel then None
+          else find_kernel t t.first_kernel
+      in
+      match target with
+      | None -> kill_thread t th "trap with no kernel to forward to"
+      | Some kernel ->
+        charge t Hw.Cost.trap_forward;
+        t.stats.Stats.traps_forwarded <- t.stats.Stats.traps_forwarded + 1;
+        trace t
+          (Trace.Trap_forwarded
+             { thread = th.Thread_obj.oid; kernel = kernel.Kernel_obj.oid });
+        push_handler t th ~kernel (fun () ->
+            kernel.Kernel_obj.handlers.Kernel_obj.on_trap th.Thread_obj.oid p)))
+
+(* Completion of the top frame.  A handler frame's result value feeds the
+   trap continuation below it; a faulted access below simply retries. *)
+let frame_completed t (th : Thread_obj.t) (frame : Thread_obj.frame) outcome =
+  match outcome with
+  | Error exn when frame.Thread_obj.mode = Thread_obj.Kernel_mode ->
+    kill_thread t th
+      (Fmt.str "application kernel handler raised %s" (Printexc.to_string exn))
+  | Error exn -> kill_thread t th (Fmt.str "uncaught %s" (Printexc.to_string exn))
+  | Ok v -> (
+    ignore (Thread_obj.pop_frame th);
+    if frame.Thread_obj.mode = Thread_obj.Kernel_mode then begin
+      th.Thread_obj.fault_depth <- max 0 (th.Thread_obj.fault_depth - 1);
+      charge t
+        (if frame.Thread_obj.combined_resume then Config.c_combined_resume
+         else Hw.Cost.exception_return);
+      trace t (Trace.Exception_complete { thread = th.Thread_obj.oid });
+      trace t (Trace.Thread_resumed { thread = th.Thread_obj.oid })
+    end;
+    match th.Thread_obj.frames with
+    | [] -> thread_exited t th
+    | lower :: _ ->
+      if th.Thread_obj.unload_pending then begin
+        (* Deliver the trap result after the thread is reloaded. *)
+        match lower.Thread_obj.status with
+        | Hw.Exec.On_trap _ -> th.Thread_obj.resume_value <- Some v
+        | _ -> ()
+      end
+      else begin
+        match lower.Thread_obj.status with
+        | Hw.Exec.On_trap (_, k) ->
+          lower.Thread_obj.status <- Effect.Deep.continue k v
+        | Hw.Exec.On_read _ | Hw.Exec.On_write _ ->
+          () (* the faulted access retries on the next step *)
+        | _ -> ()
+      end)
+
+(* One step of the thread: resume its top frame to the next effect. *)
+let step_frame t (th : Thread_obj.t) (frame : Thread_obj.frame) =
+  match frame.Thread_obj.status with
+  | Hw.Exec.Done v -> frame_completed t th frame (Ok v)
+  | Hw.Exec.Failed e -> frame_completed t th frame (Error e)
+  | Hw.Exec.On_compute (n, k) ->
+    if th.Thread_obj.slice_left <= 0 then
+      (* the scheduler decided to keep running it: fresh quantum *)
+      th.Thread_obj.slice_left <- t.config.Config.time_slice;
+    let run = min n th.Thread_obj.slice_left in
+    charge t run;
+    th.Thread_obj.slice_left <- th.Thread_obj.slice_left - run;
+    if run >= n then frame.Thread_obj.status <- continue_unit k
+    else frame.Thread_obj.status <- Hw.Exec.On_compute (n - run, k)
+  | Hw.Exec.On_read (va, k) ->
+    do_access t th frame ~va ~access:Hw.Mmu.Read ~commit:(fun tr ->
+        let w = Hw.Phys_mem.read_word t.node.Hw.Mpm.mem tr.Hw.Mmu.paddr in
+        frame.Thread_obj.status <- Effect.Deep.continue k w)
+  | Hw.Exec.On_write (va, v, k) ->
+    do_access t th frame ~va ~access:Hw.Mmu.Write ~commit:(fun tr ->
+        Hw.Phys_mem.write_word t.node.Hw.Mpm.mem tr.Hw.Mmu.paddr v;
+        frame.Thread_obj.status <- continue_unit k;
+        if tr.Hw.Mmu.pte.Hw.Page_table.flags.Hw.Page_table.message_mode then
+          Signals.on_message_write t ~pfn:tr.Hw.Mmu.pte.Hw.Page_table.frame
+            ~offset:(Hw.Addr.offset_of va))
+  | Hw.Exec.On_trap (p, k) -> do_trap t th frame p k
+  | Hw.Exec.On_time k ->
+    frame.Thread_obj.status <-
+      Effect.Deep.continue k (Hw.Cost.us_of_cycles (cpu t).Hw.Cpu.local_time)
+
+let step_thread t ~cpu_id (th : Thread_obj.t) =
+  t.active_cpu <- cpu_id;
+  t.current_thread <- Some th.Thread_obj.oid;
+  let cpu = cpu t in
+  th.Thread_obj.recently_used <- true;
+  let t0 = cpu.Hw.Cpu.local_time in
+  (match Thread_obj.top th with
+  | None -> thread_exited t th
+  | Some frame -> step_frame t th frame);
+  t.current_thread <- None;
+  let delta = cpu.Hw.Cpu.local_time - t0 in
+  th.Thread_obj.consumed <- th.Thread_obj.consumed + delta;
+  (* Processor-percentage accounting with premium charging (section 4.3). *)
+  (match find_kernel t th.Thread_obj.owner with
+  | Some kernel ->
+    let elapsed = max 1 (cpu.Hw.Cpu.local_time - t.quota_epoch_start) in
+    if
+      Quota.charge kernel ~cpu:cpu_id ~priority:th.Thread_obj.priority ~cycles:delta
+        ~elapsed ~grace:t.config.Config.time_slice
+    then
+      trace t (Trace.Quota_exceeded { kernel = kernel.Kernel_obj.oid; cpu = cpu_id })
+  | None -> ());
+  (* Post-step transitions. *)
+  if th.Thread_obj.unload_pending then begin
+    (match t.running.(cpu_id) with
+    | Some oid when Oid.equal oid th.Thread_obj.oid -> t.running.(cpu_id) <- None
+    | _ -> ());
+    Replacement.unload_thread_now t ~reason:Wb.Requested th
+  end
+  else
+    match th.Thread_obj.state with
+    | Thread_obj.Blocked _ ->
+      t.running.(cpu_id) <- None;
+      charge t Hw.Cost.context_switch
+    | Thread_obj.Running _ | Thread_obj.Ready | Thread_obj.Exited -> ()
+
+(* Scheduler eligibility: Ready, affinity matches, and the owning kernel is
+   not demoted on this CPU for exceeding its percentage. *)
+let eligible_normal t ~cpu_id _oid (th : Thread_obj.t) =
+  (match th.Thread_obj.affinity with Some c -> c = cpu_id | None -> true)
+  &&
+  match find_kernel t th.Thread_obj.owner with
+  | Some k -> not k.Kernel_obj.demoted.(cpu_id)
+  | None -> false
+
+(* Second phase: demoted kernels' threads run "only when the processor is
+   otherwise idle". *)
+let eligible_idle _t ~cpu_id _oid (th : Thread_obj.t) =
+  match th.Thread_obj.affinity with Some c -> c = cpu_id | None -> true
+
+let roll_quota_epoch t ~now_cycles =
+  if now_cycles - t.quota_epoch_start >= t.config.Config.quota_epoch then begin
+    Caches.Kernel_cache.iter t.kernels Quota.reset_epoch;
+    t.quota_epoch_start <- now_cycles
+  end
+
+let dispatch t ~cpu_id (oid, (th : Thread_obj.t)) =
+  let cpu = t.node.Hw.Mpm.cpus.(cpu_id) in
+  Hw.Cpu.idle_until cpu th.Thread_obj.ready_since;
+  Hw.Cpu.charge cpu (Hw.Cost.dispatch + Hw.Cost.context_switch);
+  th.Thread_obj.state <- Thread_obj.Running cpu_id;
+  th.Thread_obj.slice_left <- t.config.Config.time_slice;
+  t.running.(cpu_id) <- Some oid;
+  cpu.Hw.Cpu.switches <- cpu.Hw.Cpu.switches + 1;
+  trace t (Trace.Thread_dispatched { thread = oid; cpu = cpu_id })
+
+(** Run one scheduling decision or thread step on [cpu_id]. *)
+let step_cpu t ~cpu_id =
+  t.active_cpu <- cpu_id;
+  let cpu = t.node.Hw.Mpm.cpus.(cpu_id) in
+  roll_quota_epoch t ~now_cycles:cpu.Hw.Cpu.local_time;
+  let resolve = resolve_ready t in
+  match running_thread t ~cpu_id with
+  | Some th ->
+    let better =
+      Scheduler.highest_ready t.sched ~resolve
+        ~eligible:(eligible_normal t ~cpu_id)
+    in
+    let preempt =
+      match better with
+      | Some p ->
+        p > th.Thread_obj.priority
+        || (th.Thread_obj.slice_left <= 0 && p >= th.Thread_obj.priority)
+      | None -> false
+    in
+    if preempt then begin
+      Hw.Cpu.charge cpu Hw.Cost.context_switch;
+      t.stats.Stats.preemptions <- t.stats.Stats.preemptions + 1;
+      trace t (Trace.Thread_preempted { thread = th.Thread_obj.oid; cpu = cpu_id });
+      make_ready t th;
+      t.running.(cpu_id) <- None;
+      `Ran
+    end
+    else begin
+      step_thread t ~cpu_id th;
+      `Ran
+    end
+  | None -> (
+    let pick eligible = Scheduler.pick t.sched ~resolve ~eligible in
+    let choice =
+      match pick (eligible_normal t ~cpu_id) with
+      | Some c -> Some c
+      | None -> pick (eligible_idle t ~cpu_id)
+    in
+    match choice with
+    | Some c ->
+      dispatch t ~cpu_id c;
+      `Ran
+    | None -> `Idle)
+
+(** Advance one node by one step: a due event, a thread step, or an idle
+    advance to the next event.  [`Quiescent] means nothing can happen until
+    some external input (another node's message) arrives. *)
+let step_node t =
+  if t.halted then `Quiescent
+  else begin
+    let cpus = t.node.Hw.Mpm.cpus in
+    let order =
+      List.sort
+        (fun a b -> compare cpus.(a).Hw.Cpu.local_time cpus.(b).Hw.Cpu.local_time)
+        (List.init (Array.length cpus) Fun.id)
+    in
+    let min_time = cpus.(List.hd order).Hw.Cpu.local_time in
+    match Hw.Event_queue.next_time t.node.Hw.Mpm.events with
+    | Some et when et <= min_time ->
+      ignore (Hw.Event_queue.run_next t.node.Hw.Mpm.events);
+      `Progress
+    | next_event ->
+      (* An idle CPU must not hold back node time (events become due only
+         when every CPU has reached them): pull it forward to the earliest
+         of the next event and the other CPUs' clocks. *)
+      let pull_forward cpu_id =
+        let me = cpus.(cpu_id) in
+        let candidates =
+          let evs = match next_event with Some et -> [ et ] | None -> [] in
+          Array.fold_left
+            (fun acc (c : Hw.Cpu.t) ->
+              if c.Hw.Cpu.local_time > me.Hw.Cpu.local_time then
+                c.Hw.Cpu.local_time :: acc
+              else acc)
+            evs cpus
+        in
+        match candidates with
+        | [] -> false
+        | l ->
+          Hw.Cpu.idle_until me (List.fold_left min (List.hd l) l);
+          true
+      in
+      let rec try_cpus advanced = function
+        | [] ->
+          if advanced then `Progress
+          else (
+            match next_event with
+            | Some et ->
+              Array.iter (fun c -> Hw.Cpu.idle_until c et) cpus;
+              `Progress
+            | None -> `Quiescent)
+        | cpu_id :: rest -> (
+          match step_cpu t ~cpu_id with
+          | `Ran -> `Progress
+          | `Idle -> try_cpus (pull_forward cpu_id || advanced) rest)
+      in
+      try_cpus false order
+  end
+
+(** Level all CPU clocks of [t] to the node's latest time (end-of-run
+    idle accounting). *)
+let sync_clocks t =
+  let latest = Hw.Mpm.now t.node in
+  Array.iter (fun c -> Hw.Cpu.idle_until c latest) t.node.Hw.Mpm.cpus
+
+(** Run a cluster of Cache Kernel instances until every node is quiescent,
+    the optional simulated-time bound is reached, or [max_steps] engine
+    steps have executed.  Returns the number of steps taken. *)
+let run ?until_us ?(max_steps = 200_000_000) (nodes : Instance.t array) =
+  let until = Option.map Hw.Cost.cycles_of_us until_us in
+  let steps = ref 0 in
+  let continue = ref true in
+  while !continue && !steps < max_steps do
+    let progress = ref false in
+    Array.iter
+      (fun n ->
+        let past_deadline =
+          match until with
+          | Some u ->
+            Array.for_all (fun c -> c.Hw.Cpu.local_time >= u) n.node.Hw.Mpm.cpus
+          | None -> false
+        in
+        if not past_deadline then begin
+          match step_node n with
+          | `Progress ->
+            incr steps;
+            progress := true
+          | `Quiescent -> ()
+        end)
+      nodes;
+    if not !progress then continue := false
+  done;
+  Array.iter sync_clocks nodes;
+  !steps

@@ -1,0 +1,24 @@
+(** The execution engine: a discrete-event simulation of the MPM's
+    processors running loaded threads under the Cache Kernel.
+
+    Each step resumes one CPU's current thread to its next effect point,
+    charges the hardware and supervisor cycle costs, and handles the
+    scheduling, fault-forwarding (Figure 2) and signal consequences.
+    Simulations are deterministic: the same programs produce the same
+    event sequence and the same simulated times on every run. *)
+
+exception Kernel_bug of string
+
+val step_node : Instance.t -> [ `Progress | `Quiescent ]
+(** Advance one node by one step: a due event, a thread step, or an idle
+    advance.  [`Quiescent] means nothing can happen until external input
+    (another node's message) arrives. *)
+
+val sync_clocks : Instance.t -> unit
+(** Level all CPU clocks to the node's latest time (end-of-run idle
+    accounting). *)
+
+val run : ?until_us:float -> ?max_steps:int -> Instance.t array -> int
+(** Run a cluster of Cache Kernel instances until every node is quiescent,
+    the simulated-time bound is reached, or [max_steps] engine steps have
+    executed.  Returns the number of steps taken. *)

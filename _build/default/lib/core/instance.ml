@@ -1,0 +1,107 @@
+(* One Cache Kernel instance: the supervisor state of one MPM.
+
+   Gathers the four object caches, the physical memory map, the ready
+   queues, statistics and the per-CPU running-thread table.  Operations on
+   this state live in {!Api}, {!Replacement}, {!Signals} and {!Engine}. *)
+
+type t = {
+  node : Hw.Mpm.t;
+  config : Config.t;
+  kernels : Caches.Kernel_cache.t;
+  spaces : Caches.Space_cache.t;
+  threads : Caches.Thread_cache.t;
+  mappings : Mappings.t;
+  sched : Scheduler.t;
+  trace : Trace.t;
+  stats : Stats.t;
+  mutable first_kernel : Oid.t; (* the system resource manager's kernel *)
+  running : Oid.t option array; (* per-CPU current thread *)
+  mutable active_cpu : int; (* CPU whose thread is executing right now *)
+  mutable current_thread : Oid.t option;
+      (* thread whose code (user or handler) is executing this very Cache
+         Kernel call; None when the call comes from outside the engine *)
+  mutable quota_epoch_start : Hw.Cost.cycles;
+  mutable halted : bool; (* MPM hardware failure: fault containment *)
+  device_hooks : (int, int -> unit) Hashtbl.t;
+      (* physical page -> callback(offset): Cache Kernel device drivers
+         observing message-mode writes to device regions (section 2.2) *)
+}
+
+let create ?(config = Config.default) node =
+  {
+    node;
+    config;
+    kernels = Caches.Kernel_cache.create ~capacity:config.Config.kernel_cache;
+    spaces = Caches.Space_cache.create ~capacity:config.Config.space_cache;
+    threads = Caches.Thread_cache.create ~capacity:config.Config.thread_cache;
+    mappings = Mappings.create ~capacity:config.Config.mapping_cache;
+    sched = Scheduler.create ~priorities:config.Config.priorities;
+    trace = Trace.create ();
+    stats = Stats.create ();
+    first_kernel = Oid.none;
+    running = Array.make (Hw.Mpm.n_cpus node) None;
+    active_cpu = 0;
+    current_thread = None;
+    quota_epoch_start = 0;
+    halted = false;
+    device_hooks = Hashtbl.create 8;
+  }
+
+let node_id t = t.node.Hw.Mpm.node_id
+let n_cpus t = Hw.Mpm.n_cpus t.node
+let n_groups t = (Hw.Mpm.pages t.node + Hw.Addr.pages_per_group - 1) / Hw.Addr.pages_per_group
+
+(** CPU currently executing Cache Kernel code. *)
+let cpu t = t.node.Hw.Mpm.cpus.(t.active_cpu)
+
+(** Charge [c] cycles of supervisor work to the active CPU. *)
+let charge t c = Hw.Cpu.charge (cpu t) c
+
+(** Local time of the active CPU. *)
+let now t = (cpu t).Hw.Cpu.local_time
+
+let trace t event = Trace.record t.trace ~time:(now t) event
+
+let find_kernel t oid = Caches.Kernel_cache.find t.kernels oid
+let find_space t oid = Caches.Space_cache.find t.spaces oid
+let find_thread t oid = Caches.Thread_cache.find t.threads oid
+
+(** The kernel that owns [thread]'s traps and faults. *)
+let owner_of_thread t (th : Thread_obj.t) = find_kernel t th.Thread_obj.owner
+
+(** Resolve a Ready thread for the scheduler; drops stale/unready entries. *)
+let resolve_ready t oid =
+  match find_thread t oid with
+  | Some th when th.Thread_obj.state = Thread_obj.Ready -> Some th
+  | _ -> None
+
+(** Thread currently running on [cpu_id]. *)
+let running_thread t ~cpu_id =
+  match t.running.(cpu_id) with None -> None | Some oid -> find_thread t oid
+
+(** Mark a loaded thread ready and enqueue it. *)
+let make_ready t (th : Thread_obj.t) =
+  th.Thread_obj.state <- Thread_obj.Ready;
+  th.Thread_obj.ready_since <- now t;
+  Scheduler.enqueue t.sched ~priority:th.Thread_obj.priority th.Thread_obj.oid
+
+(** Append a writeback record on [owner]'s channel and notify it.  Records
+    for kernels whose owner has itself vanished drain to the first kernel,
+    which owns all kernel objects (section 3). *)
+let push_writeback ?cost t ~(owner : Oid.t) record =
+  let cost =
+    match cost with
+    | Some c -> c
+    | None -> Config.c_writeback_record + Config.c_writeback_signal
+  in
+  charge t cost;
+  let target =
+    match find_kernel t owner with
+    | Some k -> Some k
+    | None -> find_kernel t t.first_kernel
+  in
+  match target with
+  | Some k ->
+    Queue.push record k.Kernel_obj.writebacks;
+    k.Kernel_obj.handlers.Kernel_obj.on_writeback ()
+  | None -> () (* boot-time: no first kernel yet; record is dropped *)

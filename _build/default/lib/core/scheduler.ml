@@ -1,0 +1,78 @@
+(* Fixed-priority, time-sliced ready queues (sections 2.3 and 4.3).
+
+   The Cache Kernel provides only this: a thread at a given priority runs
+   after all higher-priority threads have blocked or been unloaded, and
+   round-robin time slicing operates within each priority so one real-time
+   thread cannot excessively interfere with another at the same level.  All
+   scheduling *policy* (priority decay, co-scheduling, deadlines) lives in
+   application kernels, which load, unload and re-prioritise threads.
+
+   Queues hold object identifiers; stale identifiers (the thread was
+   unloaded since being enqueued) are dropped when encountered.  Eligibility
+   (thread still Ready, CPU affinity, quota demotion) is decided by caller-
+   supplied predicates so this module stays policy-free. *)
+
+type t = {
+  queues : Oid.t Queue.t array; (* index = priority; higher index runs first *)
+  mutable approx_ready : int;
+}
+
+let create ~priorities =
+  if priorities <= 0 then invalid_arg "Scheduler.create";
+  { queues = Array.init priorities (fun _ -> Queue.create ()); approx_ready = 0 }
+
+let priorities t = Array.length t.queues
+
+(** Append a thread at [priority] (clamped to the configured range). *)
+let enqueue t ~priority oid =
+  let p = max 0 (min (Array.length t.queues - 1) priority) in
+  Queue.push oid t.queues.(p);
+  t.approx_ready <- t.approx_ready + 1
+
+(* Rotate through one priority queue looking for an eligible thread.
+   Ineligible-but-live entries are re-queued in order; stale entries are
+   dropped. *)
+let scan_queue t q ~resolve ~eligible =
+  let n = Queue.length q in
+  let found = ref None in
+  let i = ref 0 in
+  while !found = None && !i < n do
+    incr i;
+    let oid = Queue.pop q in
+    match resolve oid with
+    | None -> t.approx_ready <- t.approx_ready - 1 (* stale: drop *)
+    | Some d -> if eligible oid d then found := Some (oid, d) else Queue.push oid q
+  done;
+  (match !found with Some _ -> t.approx_ready <- t.approx_ready - 1 | None -> ());
+  !found
+
+(** Dequeue the highest-priority eligible thread. *)
+let pick t ~resolve ~eligible =
+  let rec loop p =
+    if p < 0 then None
+    else
+      match scan_queue t t.queues.(p) ~resolve ~eligible with
+      | Some r -> Some r
+      | None -> loop (p - 1)
+  in
+  loop (Array.length t.queues - 1)
+
+(** Priority of the best eligible thread, without dequeuing (used for
+    preemption decisions). *)
+let highest_ready t ~resolve ~eligible =
+  let rec loop p =
+    if p < 0 then None
+    else if
+      Queue.fold
+        (fun acc oid ->
+          acc || match resolve oid with Some d -> eligible oid d | None -> false)
+        false t.queues.(p)
+    then Some p
+    else loop (p - 1)
+  in
+  loop (Array.length t.queues - 1)
+
+(** True when no queue holds any entry at all (stale ones included). *)
+let looks_empty t = Array.for_all Queue.is_empty t.queues
+
+let length t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues

@@ -1,0 +1,18 @@
+(** Space-overhead accounting for experiment C4 (section 5.2): how many
+    bytes of descriptors and page tables the currently loaded state costs,
+    relative to the memory it maps. *)
+
+type report = {
+  mapped_pages : int;
+  mapped_bytes : int;
+  mapping_descriptor_bytes : int;  (** 16-byte dependency records *)
+  page_table_bytes : int;
+  kernel_descriptor_bytes : int;
+  space_descriptor_bytes : int;
+  thread_descriptor_bytes : int;
+  descriptor_overhead_percent : float;
+  total_overhead_percent : float;
+}
+
+val measure : Instance.t -> report
+val pp : report Fmt.t

@@ -1,0 +1,37 @@
+(* Address-space descriptors.
+
+   An address space object is loaded with minimal state (the lock bit); its
+   substance is the root of the page-table tree plus the per-page mappings
+   loaded against it (section 2.1).  The address-space identifier used by
+   the TLB is the descriptor's slot index; because TLB entries for the slot
+   are flushed when the space is unloaded, slot reuse is safe. *)
+
+type t = {
+  mutable oid : Oid.t;
+  owner : Oid.t; (* owning kernel *)
+  tag : int; (* application-kernel cookie, echoed in writebacks *)
+  table : Hw.Page_table.t;
+  mutable locked : bool;
+  mutable mapping_count : int;
+  mutable thread_count : int;
+  mutable recently_used : bool;
+}
+
+let create ~owner ~tag =
+  {
+    oid = Oid.none;
+    owner;
+    tag;
+    table = Hw.Page_table.create ();
+    locked = false;
+    mapping_count = 0;
+    thread_count = 0;
+    recently_used = true;
+  }
+
+(** The hardware address-space identifier. *)
+let asid t = t.oid.Oid.slot
+
+let pp ppf t =
+  Fmt.pf ppf "%a mappings=%d threads=%d%s" Oid.pp t.oid t.mapping_count t.thread_count
+    (if t.locked then " locked" else "")

@@ -1,0 +1,66 @@
+(* Operation counters for one Cache Kernel instance. *)
+
+type counter = {
+  mutable loads : int;
+  mutable loads_with_writeback : int;
+  mutable unloads : int;
+  mutable writebacks : int; (* objects displaced by replacement *)
+  mutable misses : int; (* stale-identifier lookups *)
+}
+
+let new_counter () =
+  { loads = 0; loads_with_writeback = 0; unloads = 0; writebacks = 0; misses = 0 }
+
+type t = {
+  kernels : counter;
+  spaces : counter;
+  threads : counter;
+  mappings : counter;
+  mutable faults_forwarded : int;
+  mutable traps_forwarded : int;
+  mutable signals_fast : int; (* delivered via the reverse TLB *)
+  mutable signals_slow : int; (* delivered via the two-stage lookup *)
+  mutable signals_queued : int;
+  mutable signals_dropped : int;
+  mutable cow_copies : int;
+  mutable consistency_flushes : int;
+  mutable preemptions : int;
+}
+
+let create () =
+  {
+    kernels = new_counter ();
+    spaces = new_counter ();
+    threads = new_counter ();
+    mappings = new_counter ();
+    faults_forwarded = 0;
+    traps_forwarded = 0;
+    signals_fast = 0;
+    signals_slow = 0;
+    signals_queued = 0;
+    signals_dropped = 0;
+    cow_copies = 0;
+    consistency_flushes = 0;
+    preemptions = 0;
+  }
+
+let counter t (kind : Oid.kind) =
+  match kind with
+  | Oid.Kernel -> t.kernels
+  | Oid.Space -> t.spaces
+  | Oid.Thread -> t.threads
+
+let pp ppf t =
+  let c name (x : counter) =
+    Fmt.pf ppf "  %-9s loads=%d (+wb %d) unloads=%d writebacks=%d stale=%d@." name x.loads
+      x.loads_with_writeback x.unloads x.writebacks x.misses
+  in
+  c "kernels" t.kernels;
+  c "spaces" t.spaces;
+  c "threads" t.threads;
+  c "mappings" t.mappings;
+  Fmt.pf ppf "  faults=%d traps=%d signals(fast=%d slow=%d queued=%d dropped=%d)@."
+    t.faults_forwarded t.traps_forwarded t.signals_fast t.signals_slow t.signals_queued
+    t.signals_dropped;
+  Fmt.pf ppf "  cow=%d consistency-flush=%d preemptions=%d@." t.cow_copies
+    t.consistency_flushes t.preemptions

@@ -1,0 +1,78 @@
+(* Event trace of Cache Kernel activity.
+
+   Tests use this to validate protocol sequences (e.g. the six steps of
+   Figure 2's page-fault handling) and examples use it to narrate runs.
+   Tracing is off by default; when enabled, events carry the simulated
+   timestamp of the CPU that generated them. *)
+
+type event =
+  | Fault_trap of { thread : Oid.t; va : int; kind : string } (* Figure 2 step 1 *)
+  | Forward_to_kernel of { thread : Oid.t; kernel : Oid.t } (* step 2 *)
+  | Handler_running of { thread : Oid.t } (* step 3 *)
+  | Mapping_loaded of { space : Oid.t; va : int; pfn : int } (* step 4 *)
+  | Exception_complete of { thread : Oid.t } (* step 5 *)
+  | Thread_resumed of { thread : Oid.t } (* step 6 *)
+  | Object_loaded of { oid : Oid.t }
+  | Object_written_back of { oid : Oid.t; to_kernel : Oid.t }
+  | Mapping_written_back of { space : Oid.t; va : int; to_kernel : Oid.t }
+  | Signal_delivered of { thread : Oid.t; va : int; fast_path : bool }
+  | Signal_queued of { thread : Oid.t; va : int }
+  | Trap_forwarded of { thread : Oid.t; kernel : Oid.t }
+  | Thread_preempted of { thread : Oid.t; cpu : int }
+  | Thread_dispatched of { thread : Oid.t; cpu : int }
+  | Quota_exceeded of { kernel : Oid.t; cpu : int }
+  | Consistency_flush of { pfn : int }
+  | Custom of string
+
+let pp_event ppf = function
+  | Fault_trap { thread; va; kind } ->
+    Fmt.pf ppf "fault-trap %a va=%a (%s)" Oid.pp thread Hw.Addr.pp_addr va kind
+  | Forward_to_kernel { thread; kernel } ->
+    Fmt.pf ppf "forward %a -> %a" Oid.pp thread Oid.pp kernel
+  | Handler_running { thread } -> Fmt.pf ppf "handler-running %a" Oid.pp thread
+  | Mapping_loaded { space; va; pfn } ->
+    Fmt.pf ppf "mapping-loaded %a va=%a pfn=%d" Oid.pp space Hw.Addr.pp_addr va pfn
+  | Exception_complete { thread } -> Fmt.pf ppf "exception-complete %a" Oid.pp thread
+  | Thread_resumed { thread } -> Fmt.pf ppf "thread-resumed %a" Oid.pp thread
+  | Object_loaded { oid } -> Fmt.pf ppf "loaded %a" Oid.pp oid
+  | Object_written_back { oid; to_kernel } ->
+    Fmt.pf ppf "writeback %a -> %a" Oid.pp oid Oid.pp to_kernel
+  | Mapping_written_back { space; va; to_kernel } ->
+    Fmt.pf ppf "mapping-writeback %a va=%a -> %a" Oid.pp space Hw.Addr.pp_addr va Oid.pp
+      to_kernel
+  | Signal_delivered { thread; va; fast_path } ->
+    Fmt.pf ppf "signal %a va=%a%s" Oid.pp thread Hw.Addr.pp_addr va
+      (if fast_path then " (rtlb)" else "")
+  | Signal_queued { thread; va } ->
+    Fmt.pf ppf "signal-queued %a va=%a" Oid.pp thread Hw.Addr.pp_addr va
+  | Trap_forwarded { thread; kernel } ->
+    Fmt.pf ppf "trap-forward %a -> %a" Oid.pp thread Oid.pp kernel
+  | Thread_preempted { thread; cpu } -> Fmt.pf ppf "preempt %a cpu%d" Oid.pp thread cpu
+  | Thread_dispatched { thread; cpu } -> Fmt.pf ppf "dispatch %a cpu%d" Oid.pp thread cpu
+  | Quota_exceeded { kernel; cpu } ->
+    Fmt.pf ppf "quota-exceeded %a cpu%d" Oid.pp kernel cpu
+  | Consistency_flush { pfn } -> Fmt.pf ppf "consistency-flush pfn=%d" pfn
+  | Custom s -> Fmt.string ppf s
+
+type entry = { time : Hw.Cost.cycles; event : event }
+
+type t = { mutable enabled : bool; mutable entries : entry list }
+
+let create ?(enabled = false) () = { enabled; entries = [] }
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let clear t = t.entries <- []
+
+let record t ~time event =
+  if t.enabled then t.entries <- { time; event } :: t.entries
+
+(** Events in chronological order. *)
+let events t = List.rev_map (fun e -> e.event) t.entries
+
+let entries t = List.rev t.entries
+
+let pp ppf t =
+  List.iter
+    (fun { time; event } ->
+      Fmt.pf ppf "[%8.2fus] %a@." (Hw.Cost.us_of_cycles time) pp_event event)
+    (entries t)

@@ -1,0 +1,40 @@
+(** Event trace of Cache Kernel activity: tests validate protocol
+    sequences against it (e.g. Figure 2's six steps), examples narrate
+    runs with it.  Off by default. *)
+
+type event =
+  | Fault_trap of { thread : Oid.t; va : int; kind : string }
+  | Forward_to_kernel of { thread : Oid.t; kernel : Oid.t }
+  | Handler_running of { thread : Oid.t }
+  | Mapping_loaded of { space : Oid.t; va : int; pfn : int }
+  | Exception_complete of { thread : Oid.t }
+  | Thread_resumed of { thread : Oid.t }
+  | Object_loaded of { oid : Oid.t }
+  | Object_written_back of { oid : Oid.t; to_kernel : Oid.t }
+  | Mapping_written_back of { space : Oid.t; va : int; to_kernel : Oid.t }
+  | Signal_delivered of { thread : Oid.t; va : int; fast_path : bool }
+  | Signal_queued of { thread : Oid.t; va : int }
+  | Trap_forwarded of { thread : Oid.t; kernel : Oid.t }
+  | Thread_preempted of { thread : Oid.t; cpu : int }
+  | Thread_dispatched of { thread : Oid.t; cpu : int }
+  | Quota_exceeded of { kernel : Oid.t; cpu : int }
+  | Consistency_flush of { pfn : int }
+  | Custom of string
+
+val pp_event : event Fmt.t
+
+type entry = { time : Hw.Cost.cycles; event : event }
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+val enable : t -> unit
+val disable : t -> unit
+val clear : t -> unit
+val record : t -> time:Hw.Cost.cycles -> event -> unit
+
+val events : t -> event list
+(** Events in chronological order. *)
+
+val entries : t -> entry list
+val pp : t Fmt.t

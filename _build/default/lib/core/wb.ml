@@ -1,0 +1,56 @@
+(* Writeback records.
+
+   When the Cache Kernel displaces an object (or an application kernel
+   explicitly unloads one), the object's state is written back to its owning
+   kernel over a writeback channel — the analogue of a dirty cache line
+   going back to memory.  The records carry everything the application
+   kernel needs to update its own descriptors and reload the object later:
+   for mappings, the current referenced/modified bits (used to decide
+   whether the page must go to backing store before the frame is reused);
+   for threads, the saved execution state. *)
+
+type reason =
+  | Displaced (* evicted to make room for another load *)
+  | Requested (* explicit unload by the owning kernel *)
+  | Dependent (* unloaded because an object it depends on was unloaded *)
+  | Exited (* thread finished execution *)
+  | Consistency (* flushed for multi-mapping consistency *)
+
+let pp_reason ppf = function
+  | Displaced -> Fmt.string ppf "displaced"
+  | Requested -> Fmt.string ppf "requested"
+  | Dependent -> Fmt.string ppf "dependent"
+  | Exited -> Fmt.string ppf "exited"
+  | Consistency -> Fmt.string ppf "consistency"
+
+type mapping_state = {
+  va : int;
+  pfn : int;
+  flags : Hw.Page_table.flags;
+  referenced : bool;
+  modified : bool;
+  had_signal_thread : bool;
+}
+
+type record =
+  | Mapping_wb of { space : Oid.t; space_tag : int; state : mapping_state; reason : reason }
+  | Thread_wb of {
+      oid : Oid.t; (* now-stale identifier, for correlation *)
+      tag : int;
+      priority : int;
+      state : Thread_obj.saved;
+      reason : reason;
+    }
+  | Space_wb of { oid : Oid.t; tag : int; reason : reason }
+  | Kernel_wb of { oid : Oid.t; name : string; reason : reason }
+
+let pp_record ppf = function
+  | Mapping_wb { space; state; reason; _ } ->
+    Fmt.pf ppf "mapping %a va=%a pfn=%d r=%b m=%b (%a)" Oid.pp space Hw.Addr.pp_addr
+      state.va state.pfn state.referenced state.modified pp_reason reason
+  | Thread_wb { oid; tag; reason; _ } ->
+    Fmt.pf ppf "thread %a tag=%d (%a)" Oid.pp oid tag pp_reason reason
+  | Space_wb { oid; tag; reason } ->
+    Fmt.pf ppf "space %a tag=%d (%a)" Oid.pp oid tag pp_reason reason
+  | Kernel_wb { oid; name; reason } ->
+    Fmt.pf ppf "kernel %a %s (%a)" Oid.pp oid name pp_reason reason

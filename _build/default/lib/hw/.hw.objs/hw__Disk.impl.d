@@ -1,0 +1,1 @@
+lib/hw/disk.ml: Addr Bytes Cost Event_queue Hashtbl

@@ -1,0 +1,1 @@
+lib/hw/disk.mli: Bytes Cost Event_queue

@@ -1,0 +1,1 @@
+lib/hw/exec.ml: Addr Cost Effect Fmt Printexc

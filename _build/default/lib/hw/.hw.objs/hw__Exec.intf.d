@@ -1,0 +1,1 @@
+lib/hw/exec.mli: Cost Effect Fmt

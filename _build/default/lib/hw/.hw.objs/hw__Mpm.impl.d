@@ -1,0 +1,1 @@
+lib/hw/mpm.ml: Array Cache_sim Cpu Event_queue Phys_mem

@@ -1,0 +1,1 @@
+lib/hw/mpm.mli: Cache_sim Cost Cpu Event_queue Phys_mem

@@ -1,0 +1,1 @@
+lib/hw/nic.ml: Cost Event_queue Interconnect Phys_mem

@@ -1,0 +1,1 @@
+lib/hw/nic.mli: Bytes Cost Event_queue Interconnect Phys_mem

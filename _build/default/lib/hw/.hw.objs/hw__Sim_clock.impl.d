@@ -1,0 +1,1 @@
+lib/hw/sim_clock.ml: Cost Fmt

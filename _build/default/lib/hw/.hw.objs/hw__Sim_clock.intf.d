@@ -1,0 +1,1 @@
+lib/hw/sim_clock.mli: Cost Fmt

@@ -1,0 +1,68 @@
+(* Cycle cost model for the simulated MPM.
+
+   The ParaDiGM prototype runs four Motorola 68040 processors at 25 MHz, so
+   one cycle is 0.04 microseconds.  All simulated time in the repository is
+   expressed in integer cycles; elapsed times reported by benchmarks are
+   converted with {!us_of_cycles}.
+
+   The constants below are costs of *hardware primitives*.  Costs of Cache
+   Kernel operations are not constants anywhere: they emerge from the number
+   of primitive actions each operation performs, which is what lets the
+   benchmark tables reproduce the *shape* of the paper's measurements. *)
+
+type cycles = int
+
+let clock_mhz = 25
+
+(** Convert a cycle count to simulated microseconds. *)
+let us_of_cycles (c : cycles) : float = float_of_int c /. float_of_int clock_mhz
+
+(** Convert simulated microseconds to cycles. *)
+let cycles_of_us (us : float) : cycles =
+  int_of_float (Float.round (us *. float_of_int clock_mhz))
+
+(* Memory system *)
+
+let mem_word_cached : cycles = 2 (* second-level cache hit *)
+let mem_word_miss : cycles = 24 (* second-level cache miss: third-level DRAM *)
+let cache_line_fill : cycles = 30 (* fill one 32-byte line from memory *)
+
+(* Address translation *)
+
+let tlb_lookup : cycles = 1
+let page_table_level : cycles = 18 (* one level of a table walk (memory read) *)
+let tlb_flush_page : cycles = 4
+let tlb_flush_space : cycles = 40
+
+(* Control transfer *)
+
+let trap_entry : cycles = 250 (* user -> supervisor trap, state save *)
+let trap_exit : cycles = 90 (* supervisor -> user return, state restore *)
+
+let exception_forward : cycles = 550
+(* switch a faulting thread onto its application kernel's exception stack:
+   save the full fault state in the descriptor, switch address space,
+   switch stack and program counter (Figure 2 step 2) *)
+
+let trap_forward : cycles = 200
+(* forward a trap instruction to the application kernel's trap handler: the
+   lighter-weight sibling of [exception_forward] — no fault state to
+   capture, "similar techniques to those described for UNIX binary
+   emulation" (section 2.3) *)
+
+let exception_return : cycles = 170 (* Figure 2 steps 5-6, without the load *)
+let context_switch : cycles = 220 (* full register/space switch *)
+let dispatch : cycles = 45 (* scheduler picks next thread *)
+
+(* Interconnect *)
+
+let interprocessor_signal : cycles = 150 (* cross-CPU notification on one MPM *)
+let vme_packet : cycles = 2500 (* VMEbus transfer between MPMs, 100 us *)
+let fiber_packet : cycles = 750 (* 266 Mb fiber channel hop, 30 us *)
+
+(* Devices *)
+
+let disk_seek : cycles = 250_000 (* 10 ms *)
+let disk_page_transfer : cycles = 50_000 (* 2 ms per 4 KB page *)
+let ethernet_dma_setup : cycles = 400
+let ethernet_wire : cycles = 30_000 (* 1.2 ms for a full frame at 10 Mb *)

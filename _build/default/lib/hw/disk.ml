@@ -1,0 +1,55 @@
+(* Simulated paging disk.
+
+   Page-granularity backing store with seek + transfer latency, completing
+   through the node's event queue.  The application-kernel memory-management
+   library builds its backing store on this (the Cache Kernel itself never
+   touches the disk — paging policy and I/O live in application kernels). *)
+
+type t = {
+  blocks : (int, Bytes.t) Hashtbl.t; (* block number -> one page of data *)
+  events : Event_queue.t;
+  now : unit -> Cost.cycles;
+  mutable reads : int;
+  mutable writes : int;
+  mutable next_block : int;
+}
+
+let create ~events ~now = { blocks = Hashtbl.create 256; events; now; reads = 0; writes = 0; next_block = 0 }
+
+let reads t = t.reads
+let writes t = t.writes
+
+(** Allocate a fresh backing-store block. *)
+let alloc_block t =
+  let b = t.next_block in
+  t.next_block <- t.next_block + 1;
+  b
+
+let latency () = Cost.disk_seek + Cost.disk_page_transfer
+
+(** Read block [block]; [k data] runs from the event queue when the transfer
+    completes.  Unwritten blocks read as zeroes. *)
+let read t ~block k =
+  t.reads <- t.reads + 1;
+  let data =
+    match Hashtbl.find_opt t.blocks block with
+    | Some b -> Bytes.copy b
+    | None -> Bytes.make Addr.page_size '\000'
+  in
+  Event_queue.schedule t.events ~time:(t.now () + latency ()) (fun () -> k data)
+
+(** Write [data] (one page) to block [block]; [k ()] runs on completion. *)
+let write t ~block data k =
+  t.writes <- t.writes + 1;
+  if Bytes.length data <> Addr.page_size then
+    invalid_arg "Disk.write: data must be exactly one page";
+  Hashtbl.replace t.blocks block (Bytes.copy data);
+  Event_queue.schedule t.events ~time:(t.now () + latency ()) (fun () -> k ())
+
+(** Synchronous variants for boot-time loading (no latency modelling). *)
+let read_now t ~block =
+  match Hashtbl.find_opt t.blocks block with
+  | Some b -> Bytes.copy b
+  | None -> Bytes.make Addr.page_size '\000'
+
+let write_now t ~block data = Hashtbl.replace t.blocks block (Bytes.copy data)

@@ -1,0 +1,26 @@
+(** Simulated paging disk: page-granularity transfers with seek + transfer
+    latency, completing through the node's event queue.  Paging policy and
+    I/O live in application kernels; the Cache Kernel never touches this. *)
+
+type t
+
+val create : events:Event_queue.t -> now:(unit -> Cost.cycles) -> t
+val reads : t -> int
+val writes : t -> int
+
+val alloc_block : t -> int
+(** Allocate a fresh backing-store block. *)
+
+val latency : unit -> Cost.cycles
+
+val read : t -> block:int -> (Bytes.t -> unit) -> unit
+(** Read a block; the continuation runs from the event queue on
+    completion.  Unwritten blocks read as zeroes. *)
+
+val write : t -> block:int -> Bytes.t -> (unit -> unit) -> unit
+(** Write one page of data to a block. *)
+
+val read_now : t -> block:int -> Bytes.t
+(** Synchronous read for boot-time loading (no latency modelled). *)
+
+val write_now : t -> block:int -> Bytes.t -> unit

@@ -1,0 +1,69 @@
+(* Discrete-event queue: a binary min-heap of timed callbacks.
+
+   Ties break by insertion order so simulations are deterministic. *)
+
+type event = { time : Cost.cycles; seq : int; action : unit -> unit }
+
+type t = {
+  mutable heap : event array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0; seq = 0; action = ignore }
+let create () = { heap = Array.make 64 dummy; len = 0; next_seq = 0 }
+let is_empty t = t.len = 0
+let length t = t.len
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.len && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+(** Schedule [action] to run at absolute simulated time [time]. *)
+let schedule t ~time action =
+  if t.len = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.len) dummy in
+    Array.blit t.heap 0 bigger 0 t.len;
+    t.heap <- bigger
+  end;
+  t.heap.(t.len) <- { time; seq = t.next_seq; action };
+  t.next_seq <- t.next_seq + 1;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+(** Time of the earliest pending event. *)
+let next_time t = if t.len = 0 then None else Some t.heap.(0).time
+
+(** Remove and run the earliest event; returns its time. *)
+let run_next t =
+  if t.len = 0 then invalid_arg "Event_queue.run_next: empty";
+  let ev = t.heap.(0) in
+  t.len <- t.len - 1;
+  if t.len > 0 then begin
+    t.heap.(0) <- t.heap.(t.len);
+    sift_down t 0
+  end;
+  ev.action ();
+  ev.time

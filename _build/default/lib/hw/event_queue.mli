@@ -1,0 +1,18 @@
+(** Discrete-event queue: timed callbacks in a binary min-heap, with
+    insertion order breaking ties so simulations are deterministic. *)
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+val length : t -> int
+
+val schedule : t -> time:Cost.cycles -> (unit -> unit) -> unit
+(** Run the callback at absolute simulated time [time]. *)
+
+val next_time : t -> Cost.cycles option
+(** Time of the earliest pending event. *)
+
+val run_next : t -> Cost.cycles
+(** Remove and run the earliest event; returns its time.
+    @raise Invalid_argument if the queue is empty. *)

@@ -1,0 +1,72 @@
+(* Inter-MPM interconnect: VMEbus within a chassis, fiber channel between
+   chassis (Figure 4).
+
+   Nodes register a delivery callback; [send] schedules delivery on the
+   destination node's event queue after the link latency.  A node can be
+   marked failed, after which it silently drops traffic — the substrate for
+   the fault-containment experiments (section 3). *)
+
+type packet = { src : int; dst : int; data : Bytes.t; tag : int }
+
+type port = {
+  node_id : int;
+  deliver : packet -> unit;
+  now : unit -> Cost.cycles;
+  at : time:Cost.cycles -> (unit -> unit) -> unit;
+  mutable failed : bool;
+}
+
+type link_kind = Vme | Fiber
+
+type t = {
+  latency : Cost.cycles;
+  mutable ports : port list;
+  mutable sent : int;
+  mutable dropped : int;
+}
+
+let create ?(kind = Fiber) () =
+  let latency = match kind with Vme -> Cost.vme_packet | Fiber -> Cost.fiber_packet in
+  { latency; ports = []; sent = 0; dropped = 0 }
+
+(** Attach a node.  [deliver] runs on the destination node's event queue. *)
+let attach t ~node_id ~deliver ~now ~at =
+  let port = { node_id; deliver; now; at; failed = false } in
+  t.ports <- port :: t.ports;
+  port
+
+let port t node_id = List.find_opt (fun p -> p.node_id = node_id) t.ports
+
+(** Halt a node: it stops receiving (and its kernel stops running).  Other
+    nodes are unaffected — "an MPM hardware failure only halts the local
+    Cache Kernel instance and applications running on top of it". *)
+let fail_node t node_id =
+  match port t node_id with
+  | Some p -> p.failed <- true
+  | None -> invalid_arg "Interconnect.fail_node: unknown node"
+
+let node_failed t node_id =
+  match port t node_id with Some p -> p.failed | None -> false
+
+let sent t = t.sent
+let dropped t = t.dropped
+
+(** Send [data] from node [src] to node [dst]; delivered after the link
+    latency unless either end has failed. *)
+let send t ~src ~dst ?(tag = 0) data =
+  match (port t src, port t dst) with
+  | Some sp, Some dp ->
+    if sp.failed || dp.failed then t.dropped <- t.dropped + 1
+    else begin
+      t.sent <- t.sent + 1;
+      let deliver_at = max (sp.now ()) (dp.now ()) + t.latency in
+      let pkt = { src; dst; data; tag } in
+      dp.at ~time:deliver_at (fun () -> if not dp.failed then dp.deliver pkt)
+    end
+  | _ -> invalid_arg "Interconnect.send: unknown node"
+
+(** Broadcast to every attached node except [src]. *)
+let broadcast t ~src ?(tag = 0) data =
+  List.iter
+    (fun p -> if p.node_id <> src then send t ~src ~dst:p.node_id ~tag data)
+    t.ports

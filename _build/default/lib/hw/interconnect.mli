@@ -1,0 +1,32 @@
+(** Inter-MPM interconnect: VMEbus within a chassis, fiber channel between
+    chassis (Figure 4).  Delivery runs on the destination node's event
+    queue after the link latency; a failed node silently drops traffic —
+    the substrate for the fault-containment experiments. *)
+
+type packet = { src : int; dst : int; data : Bytes.t; tag : int }
+
+type port
+
+type link_kind = Vme | Fiber
+
+type t
+
+val create : ?kind:link_kind -> unit -> t
+
+val attach :
+  t ->
+  node_id:int ->
+  deliver:(packet -> unit) ->
+  now:(unit -> Cost.cycles) ->
+  at:(time:Cost.cycles -> (unit -> unit) -> unit) ->
+  port
+
+val fail_node : t -> int -> unit
+(** Halt a node: it stops receiving; other nodes are unaffected. *)
+
+val node_failed : t -> int -> bool
+val sent : t -> int
+val dropped : t -> int
+
+val send : t -> src:int -> dst:int -> ?tag:int -> Bytes.t -> unit
+val broadcast : t -> src:int -> ?tag:int -> Bytes.t -> unit

@@ -1,0 +1,70 @@
+(* Memory management unit: address translation and access checking.
+
+   Translation consults the per-processor TLB first and walks the
+   three-level page table on a miss.  The fault taxonomy matches section
+   2.1: mapping fault (no descriptor loaded), protection fault (write to a
+   read-only page), privilege violation, consistency fault (remote or failed
+   memory module), and bus error (physical address out of range). *)
+
+type access = Read | Write | Execute
+
+let pp_access ppf = function
+  | Read -> Fmt.string ppf "read"
+  | Write -> Fmt.string ppf "write"
+  | Execute -> Fmt.string ppf "execute"
+
+type fault_kind =
+  | Missing_mapping
+  | Protection_violation
+  | Privilege_violation
+  | Consistency_fault
+  | Bus_error
+
+let pp_fault_kind ppf = function
+  | Missing_mapping -> Fmt.string ppf "missing-mapping"
+  | Protection_violation -> Fmt.string ppf "protection"
+  | Privilege_violation -> Fmt.string ppf "privilege"
+  | Consistency_fault -> Fmt.string ppf "consistency"
+  | Bus_error -> Fmt.string ppf "bus-error"
+
+type fault = { va : int; access : access; kind : fault_kind }
+
+let pp_fault ppf f =
+  Fmt.pf ppf "%a fault at %a (%a)" pp_fault_kind f.kind Addr.pp_addr f.va pp_access f.access
+
+type translation = {
+  paddr : int;
+  pte : Page_table.entry;
+  tlb_hit : bool;
+  cost : Cost.cycles; (* translation cost, excluding the data access itself *)
+}
+
+(** Translate virtual address [va] in address space [asid] (page table
+    [table]) for [access], via [tlb].  On success the referenced/modified
+    bits of the page-table entry are updated. *)
+let translate ~tlb ~table ~asid ~va ~access : (translation, fault) result =
+  let vpn = Addr.page_of va in
+  let fault kind = Error { va; access; kind } in
+  let finish ~pte ~tlb_hit ~cost =
+    if pte.Page_table.remote then fault Consistency_fault
+    else if access = Write && not pte.Page_table.flags.Page_table.writable then
+      fault Protection_violation
+    else begin
+      pte.Page_table.referenced <- true;
+      if access = Write then pte.Page_table.modified <- true;
+      Ok { paddr = Addr.addr_of_page pte.Page_table.frame + Addr.offset_of va; pte; tlb_hit; cost }
+    end
+  in
+  match Tlb.lookup tlb ~asid ~vpn with
+  | Some pte -> finish ~pte ~tlb_hit:true ~cost:Cost.tlb_lookup
+  | None -> (
+    let entry, levels = Page_table.lookup table va in
+    let walk_cost = Cost.tlb_lookup + (levels * Cost.page_table_level) in
+    match entry with
+    | None -> fault Missing_mapping
+    | Some pte ->
+      Tlb.insert tlb ~asid ~vpn ~pte;
+      finish ~pte ~tlb_hit:false ~cost:walk_cost)
+
+(** Cost of the data access itself given the second-level cache outcome. *)
+let data_cost = function `Hit -> Cost.mem_word_cached | `Miss -> Cost.mem_word_miss

@@ -1,0 +1,40 @@
+(** Address translation and access checking, with the fault taxonomy of
+    section 2.1: mapping fault, protection fault, privilege violation,
+    consistency fault, bus error. *)
+
+type access = Read | Write | Execute
+
+val pp_access : access Fmt.t
+
+type fault_kind =
+  | Missing_mapping
+  | Protection_violation
+  | Privilege_violation
+  | Consistency_fault
+  | Bus_error
+
+val pp_fault_kind : fault_kind Fmt.t
+
+type fault = { va : int; access : access; kind : fault_kind }
+
+val pp_fault : fault Fmt.t
+
+type translation = {
+  paddr : int;
+  pte : Page_table.entry;
+  tlb_hit : bool;
+  cost : Cost.cycles;  (** translation cost, excluding the data access *)
+}
+
+val translate :
+  tlb:Tlb.t ->
+  table:Page_table.t ->
+  asid:int ->
+  va:int ->
+  access:access ->
+  (translation, fault) result
+(** Translate through the TLB, walking the page table on a miss.  On
+    success the referenced/modified bits are updated. *)
+
+val data_cost : [ `Hit | `Miss ] -> Cost.cycles
+(** Cost of the data access given the second-level cache outcome. *)

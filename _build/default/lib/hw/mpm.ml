@@ -1,0 +1,41 @@
+(* A multiprocessor module (MPM): the unit of Cache Kernel replication.
+
+   Matches Figure 4: a small number of processors sharing local memory and a
+   second-level cache, with its own event queue (devices, timers) and clock.
+   Default configuration follows the prototype: 4 CPUs; memory defaults are
+   larger than the prototype's 2 MB so experiments can run big workloads
+   without changing the architecture. *)
+
+type t = {
+  node_id : int;
+  cpus : Cpu.t array;
+  mem : Phys_mem.t;
+  cache : Cache_sim.t;
+  events : Event_queue.t;
+}
+
+let default_cpus = 4
+let default_mem = 64 * 1024 * 1024
+
+let create ?(cpus = default_cpus) ?(mem_size = default_mem) ?(cache_size = 8 * 1024 * 1024)
+    ~node_id () =
+  if cpus <= 0 then invalid_arg "Mpm.create: need at least one CPU";
+  {
+    node_id;
+    cpus = Array.init cpus (fun id -> Cpu.create ~id);
+    mem = Phys_mem.create ~size:mem_size;
+    cache = Cache_sim.create ~size_bytes:cache_size ();
+    events = Event_queue.create ();
+  }
+
+(** The MPM's notion of "now": the furthest-ahead CPU. *)
+let now t = Array.fold_left (fun acc c -> max acc c.Cpu.local_time) 0 t.cpus
+
+(** Schedule [action] on this node's event queue at absolute time [time]. *)
+let at t ~time action = Event_queue.schedule t.events ~time action
+
+(** Schedule [action] [delay] cycles from now. *)
+let after t ~delay action = at t ~time:(now t + delay) action
+
+let n_cpus t = Array.length t.cpus
+let pages t = Phys_mem.pages t.mem

@@ -1,0 +1,24 @@
+(** A multiprocessor module (Figure 4): the unit of Cache Kernel
+    replication — a few processors sharing local memory, a second-level
+    cache, an event queue and a clock. *)
+
+type t = {
+  node_id : int;
+  cpus : Cpu.t array;
+  mem : Phys_mem.t;
+  cache : Cache_sim.t;
+  events : Event_queue.t;
+}
+
+val default_cpus : int
+val default_mem : int
+
+val create : ?cpus:int -> ?mem_size:int -> ?cache_size:int -> node_id:int -> unit -> t
+
+val now : t -> Cost.cycles
+(** The node's notion of "now": the furthest-ahead CPU. *)
+
+val at : t -> time:Cost.cycles -> (unit -> unit) -> unit
+val after : t -> delay:Cost.cycles -> (unit -> unit) -> unit
+val n_cpus : t -> int
+val pages : t -> int

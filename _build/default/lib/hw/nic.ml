@@ -1,0 +1,96 @@
+(* Network interfaces of an MPM.
+
+   Two device classes, matching section 2.2's contrast:
+
+   - {!Fiber}: the 266 Mb fiber-channel interface "designed to fit the
+     memory-mapped model": transmission and reception are memory regions;
+     the driver only maps the device address space, and data transfer uses
+     the general memory-based messaging machinery.  The kernel driver for
+     this class is tiny.
+
+   - {!Ethernet}: a conventional DMA Ethernet chip, requiring a non-trivial
+     driver to adapt DMA descriptors to memory-based messaging.
+
+   Both deliver received frames by invoking a receive callback from the
+   node's event queue; the Cache Kernel driver turns that into an
+   address-valued signal. *)
+
+module Fiber = struct
+  type t = {
+    node_id : int;
+    net : Interconnect.t;
+    mutable on_receive : Interconnect.packet -> unit;
+    mutable tx_count : int;
+    mutable rx_count : int;
+  }
+
+  let create ~node_id ~net ~events ~now =
+    let t =
+      { node_id; net; on_receive = ignore; tx_count = 0; rx_count = 0 }
+    in
+    let deliver pkt =
+      t.rx_count <- t.rx_count + 1;
+      t.on_receive pkt
+    in
+    ignore
+      (Interconnect.attach net ~node_id ~deliver
+         ~now
+         ~at:(fun ~time f -> Event_queue.schedule events ~time f));
+    t
+
+  let set_receiver t f = t.on_receive <- f
+
+  (** Transmit a frame: a single memory-mapped store sequence, so the only
+      cost beyond the wire latency is handed to the interconnect. *)
+  let transmit t ~dst ?(tag = 0) data =
+    t.tx_count <- t.tx_count + 1;
+    Interconnect.send t.net ~src:t.node_id ~dst ~tag data
+
+  let tx_count t = t.tx_count
+  let rx_count t = t.rx_count
+end
+
+module Ethernet = struct
+  (* DMA rings live in physical memory: the driver writes a descriptor
+     (buffer physical address + length), the chip copies and raises a
+     completion event after DMA setup + wire time. *)
+
+  type t = {
+    node_id : int;
+    net : Interconnect.t;
+    mem : Phys_mem.t;
+    events : Event_queue.t;
+    now : unit -> Cost.cycles;
+    mutable on_receive : Interconnect.packet -> unit;
+    mutable tx_count : int;
+    mutable rx_count : int;
+  }
+
+  let create ~node_id ~net ~mem ~events ~now =
+    let t =
+      { node_id; net; mem; events; now; on_receive = ignore; tx_count = 0; rx_count = 0 }
+    in
+    let deliver pkt =
+      t.rx_count <- t.rx_count + 1;
+      t.on_receive pkt
+    in
+    ignore
+      (Interconnect.attach net ~node_id:(1000 + node_id) ~deliver ~now
+         ~at:(fun ~time f -> Event_queue.schedule events ~time f));
+    t
+
+  let set_receiver t f = t.on_receive <- f
+
+  (** Transmit [len] bytes DMA'd from physical address [paddr].  The
+      completion callback [done_] fires when the chip releases the buffer. *)
+  let transmit t ~dst ~paddr ~len ?(tag = 0) ~done_ () =
+    t.tx_count <- t.tx_count + 1;
+    let data = Phys_mem.read_bytes t.mem paddr len in
+    let start = t.now () + Cost.ethernet_dma_setup in
+    Event_queue.schedule t.events ~time:(start + Cost.ethernet_wire) (fun () ->
+        Interconnect.send t.net ~src:(1000 + t.node_id) ~dst:(1000 + dst) ~tag data;
+        done_ ())
+
+  let tx_count t = t.tx_count
+  let rx_count t = t.rx_count
+end

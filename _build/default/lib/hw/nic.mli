@@ -1,0 +1,45 @@
+(** Network interfaces of an MPM — the two device classes section 2.2
+    contrasts: the fiber channel is designed for the memory-mapped model
+    (a trivially small kernel driver), while the Ethernet chip's DMA
+    interface forces a non-trivial driver. *)
+
+module Fiber : sig
+  type t
+
+  val create :
+    node_id:int ->
+    net:Interconnect.t ->
+    events:Event_queue.t ->
+    now:(unit -> Cost.cycles) ->
+    t
+
+  val set_receiver : t -> (Interconnect.packet -> unit) -> unit
+
+  val transmit : t -> dst:int -> ?tag:int -> Bytes.t -> unit
+  (** A memory-mapped store sequence; only the wire latency applies. *)
+
+  val tx_count : t -> int
+  val rx_count : t -> int
+end
+
+module Ethernet : sig
+  type t
+
+  val create :
+    node_id:int ->
+    net:Interconnect.t ->
+    mem:Phys_mem.t ->
+    events:Event_queue.t ->
+    now:(unit -> Cost.cycles) ->
+    t
+
+  val set_receiver : t -> (Interconnect.packet -> unit) -> unit
+
+  val transmit :
+    t -> dst:int -> paddr:int -> len:int -> ?tag:int -> done_:(unit -> unit) -> unit -> unit
+  (** DMA [len] bytes from physical memory; [done_] fires when the chip
+      releases the buffer (DMA setup + wire time). *)
+
+  val tx_count : t -> int
+  val rx_count : t -> int
+end

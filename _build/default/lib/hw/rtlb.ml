@@ -1,0 +1,62 @@
+(* Per-processor reverse TLB for memory-based messaging (section 4.1).
+
+   Maps a physical page to the (virtual address base, signal-thread tag)
+   pair for the signal thread this processor manages, so that delivery of an
+   address-valued signal to the *active* thread needs no two-stage lookup in
+   the physical memory map.  The prototype implements this in Cache Kernel
+   software; ours does the same. *)
+
+type entry = { pfn : int; va_base : int; tag : int }
+
+type t = {
+  slots : entry option array;
+  mutable hand : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let default_size = 32
+
+let create ?(size = default_size) () =
+  { slots = Array.make size None; hand = 0; hits = 0; misses = 0 }
+
+let hits t = t.hits
+let misses t = t.misses
+
+(** Reverse-translate physical page [pfn]: returns the mapped virtual base
+    address and the signal-thread tag recorded by {!insert}. *)
+let lookup t ~pfn =
+  let n = Array.length t.slots in
+  let rec scan i =
+    if i >= n then begin
+      t.misses <- t.misses + 1;
+      None
+    end
+    else
+      match t.slots.(i) with
+      | Some e when e.pfn = pfn ->
+        t.hits <- t.hits + 1;
+        Some (e.va_base, e.tag)
+      | _ -> scan (i + 1)
+  in
+  scan 0
+
+let insert t ~pfn ~va_base ~tag =
+  t.slots.(t.hand) <- Some { pfn; va_base; tag };
+  t.hand <- (t.hand + 1) mod Array.length t.slots
+
+(** Drop any entry for [pfn] (mapping unloaded or signal thread rebound). *)
+let flush_pfn t ~pfn =
+  Array.iteri
+    (fun i slot ->
+      match slot with Some e when e.pfn = pfn -> t.slots.(i) <- None | _ -> ())
+    t.slots
+
+(** Drop entries whose tag satisfies [pred] (e.g. a thread was unloaded). *)
+let flush_tag t ~pred =
+  Array.iteri
+    (fun i slot ->
+      match slot with Some e when pred e.tag -> t.slots.(i) <- None | _ -> ())
+    t.slots
+
+let flush_all t = Array.fill t.slots 0 (Array.length t.slots) None

@@ -1,0 +1,20 @@
+(** Per-processor reverse TLB for memory-based messaging (section 4.1):
+    maps a physical page to the (virtual base, signal-thread tag) pair so
+    delivery to the active receiver avoids the two-stage physical-map
+    lookup.  Tags are opaque to the hardware; the Cache Kernel validates
+    them against the thread cache on each hit. *)
+
+type t
+
+val default_size : int
+val create : ?size:int -> unit -> t
+val hits : t -> int
+val misses : t -> int
+
+val lookup : t -> pfn:int -> (int * int) option
+(** Reverse-translate a physical page: (virtual base, tag). *)
+
+val insert : t -> pfn:int -> va_base:int -> tag:int -> unit
+val flush_pfn : t -> pfn:int -> unit
+val flush_tag : t -> pred:(int -> bool) -> unit
+val flush_all : t -> unit

@@ -1,0 +1,82 @@
+(* Per-processor translation lookaside buffer.
+
+   Fully associative with FIFO replacement, which is what the cost model
+   needs: a hit costs {!Cost.tlb_lookup}, a miss adds a table walk.  Entries
+   are tagged with an address-space identifier so context switches do not
+   require a full flush. *)
+
+type entry = {
+  asid : int;
+  vpn : int;
+  pte : Page_table.entry; (* shared with the page table: flag updates seen *)
+}
+
+type t = {
+  slots : entry option array;
+  mutable hand : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable flushes : int;
+}
+
+let default_size = 64
+
+let create ?(size = default_size) () =
+  { slots = Array.make size None; hand = 0; hits = 0; misses = 0; flushes = 0 }
+
+let size t = Array.length t.slots
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.flushes <- 0
+
+(** Look up the translation for address space [asid], virtual page [vpn]. *)
+let lookup t ~asid ~vpn =
+  let n = Array.length t.slots in
+  let rec scan i =
+    if i >= n then begin
+      t.misses <- t.misses + 1;
+      None
+    end
+    else
+      match t.slots.(i) with
+      | Some e when e.asid = asid && e.vpn = vpn ->
+        t.hits <- t.hits + 1;
+        Some e.pte
+      | _ -> scan (i + 1)
+  in
+  scan 0
+
+(** Install a translation, evicting in FIFO order. *)
+let insert t ~asid ~vpn ~pte =
+  t.slots.(t.hand) <- Some { asid; vpn; pte };
+  t.hand <- (t.hand + 1) mod Array.length t.slots
+
+(** Drop any entry for ([asid], [vpn]). *)
+let flush_page t ~asid ~vpn =
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Some e when e.asid = asid && e.vpn = vpn ->
+        t.slots.(i) <- None;
+        t.flushes <- t.flushes + 1
+      | _ -> ())
+    t.slots
+
+(** Drop every entry belonging to [asid]. *)
+let flush_space t ~asid =
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Some e when e.asid = asid ->
+        t.slots.(i) <- None;
+        t.flushes <- t.flushes + 1
+      | _ -> ())
+    t.slots
+
+let flush_all t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.flushes <- t.flushes + 1

@@ -1,0 +1,18 @@
+(** Per-processor translation lookaside buffer: fully associative, FIFO
+    replacement, entries tagged by address-space identifier.  Entries share
+    the page-table entry by reference, so flag updates are coherent. *)
+
+type t
+
+val default_size : int
+val create : ?size:int -> unit -> t
+val size : t -> int
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit
+
+val lookup : t -> asid:int -> vpn:int -> Page_table.entry option
+val insert : t -> asid:int -> vpn:int -> pte:Page_table.entry -> unit
+val flush_page : t -> asid:int -> vpn:int -> unit
+val flush_space : t -> asid:int -> unit
+val flush_all : t -> unit

@@ -1,0 +1,1 @@
+lib/sim_kernel/mp3d.ml: Aklib Api App_kernel Array Backing_store Cachekernel Engine Fmt Hw Instance Region Segment Segment_mgr Thread_lib

@@ -1,0 +1,1 @@
+lib/sim_kernel/mp3d.mli: Aklib Cachekernel Fmt Hw

@@ -1,0 +1,1 @@
+lib/srm/distrib.ml: Api Bytes Cachekernel Hashtbl Hw Instance Int32 List Manager Oid Scheduler

@@ -1,0 +1,1 @@
+lib/srm/distrib.mli: Bytes Cachekernel Hw Manager Oid

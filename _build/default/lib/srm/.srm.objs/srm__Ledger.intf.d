@@ -1,0 +1,1 @@
+lib/srm/ledger.mli:

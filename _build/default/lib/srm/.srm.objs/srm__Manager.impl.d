@@ -1,0 +1,1 @@
+lib/srm/manager.ml: Aklib Api App_kernel Array Cachekernel Fun Instance Kernel_obj Ledger List

@@ -1,0 +1,1 @@
+lib/srm/manager.mli: Aklib Api App_kernel Cachekernel Instance Kernel_obj Ledger Oid

@@ -1,0 +1,132 @@
+(* Distributed SRM coordination across MPMs (section 3).
+
+   "The SRM communicates with other instances of itself on other MPMs
+   using the RPC facility, coordinating to provide distributed scheduling."
+   Each SRM owns the node's fiber-channel interface and exchanges load
+   reports and co-scheduling requests; co-scheduling raises the priority of
+   all of a gang's threads at (nearly) the same time across nodes, the
+   pattern section 2.3 describes for large parallel applications.
+
+   Messages travel over the fiber-channel NIC; reception is handled in the
+   SRM's driver context.  (The prototype runs these exchanges over the
+   object-oriented RPC library; the wire path and latency here are the
+   same, only the stub layer is collapsed — recorded in DESIGN.md.) *)
+
+open Cachekernel
+
+type message =
+  | Load_report of { node : int; runnable : int }
+  | Coschedule of { gang : int; priority : int }
+
+(* 3-word wire encoding *)
+let encode = function
+  | Load_report { node; runnable } ->
+    let b = Bytes.create 12 in
+    Bytes.set_int32_le b 0 0l;
+    Bytes.set_int32_le b 4 (Int32.of_int node);
+    Bytes.set_int32_le b 8 (Int32.of_int runnable);
+    b
+  | Coschedule { gang; priority } ->
+    let b = Bytes.create 12 in
+    Bytes.set_int32_le b 0 1l;
+    Bytes.set_int32_le b 4 (Int32.of_int gang);
+    Bytes.set_int32_le b 8 (Int32.of_int priority);
+    b
+
+let decode b =
+  if Bytes.length b < 12 then None
+  else
+    let w i = Int32.to_int (Bytes.get_int32_le b (4 * i)) in
+    match w 0 with
+    | 0 -> Some (Load_report { node = w 1; runnable = w 2 })
+    | 1 -> Some (Coschedule { gang = w 1; priority = w 2 })
+    | _ -> None
+
+type t = {
+  srm : Manager.t;
+  nic : Hw.Nic.Fiber.t;
+  node_id : int;
+  mutable peers : int list;
+  gangs : (int, Oid.t list ref) Hashtbl.t; (* gang id -> local member threads *)
+  mutable load_reports : (int * int) list; (* node -> last reported runnable *)
+  mutable cosched_applied : (int * float) list; (* gang -> local apply time (us) *)
+}
+
+(* Apply a co-schedule request locally: raise every member thread of the
+   gang to [priority] "at the same time". *)
+let apply_cosched t ~gang ~priority =
+  match Hashtbl.find_opt t.gangs gang with
+  | None -> ()
+  | Some members ->
+    let inst = t.srm.Manager.inst in
+    List.iter
+      (fun th_oid ->
+        ignore (Api.set_priority inst ~caller:(Manager.oid t.srm) th_oid priority))
+      !members;
+    t.cosched_applied <-
+      (gang, Hw.Cost.us_of_cycles (Hw.Mpm.now inst.Instance.node)) :: t.cosched_applied
+
+let handle t (pkt : Hw.Interconnect.packet) =
+  match decode pkt.Hw.Interconnect.data with
+  | Some (Load_report { node; runnable }) ->
+    t.load_reports <- (node, runnable) :: List.remove_assoc node t.load_reports
+  | Some (Coschedule { gang; priority }) -> apply_cosched t ~gang ~priority
+  | None -> ()
+
+(** Attach the SRM to the interconnect: creates the node's fiber NIC and
+    starts handling coordination traffic. *)
+let start srm ~net =
+  let inst = srm.Manager.inst in
+  let node = inst.Instance.node in
+  let nic =
+    Hw.Nic.Fiber.create ~node_id:node.Hw.Mpm.node_id ~net ~events:node.Hw.Mpm.events
+      ~now:(fun () -> Hw.Mpm.now node)
+  in
+  let t =
+    {
+      srm;
+      nic;
+      node_id = node.Hw.Mpm.node_id;
+      peers = [];
+      gangs = Hashtbl.create 8;
+      load_reports = [];
+      cosched_applied = [];
+    }
+  in
+  Hw.Nic.Fiber.set_receiver nic (fun pkt -> handle t pkt);
+  t
+
+let add_peer t node_id = if node_id <> t.node_id then t.peers <- node_id :: t.peers
+
+(** Register local member threads of a gang. *)
+let register_gang t ~gang members =
+  (match Hashtbl.find_opt t.gangs gang with
+  | Some l -> l := members @ !l
+  | None -> Hashtbl.replace t.gangs gang (ref members))
+
+(** Broadcast current load to all peers. *)
+let report_load t =
+  let runnable = Scheduler.length t.srm.Manager.inst.Instance.sched in
+  t.load_reports <- (t.node_id, runnable) :: List.remove_assoc t.node_id t.load_reports;
+  List.iter
+    (fun peer ->
+      Hw.Nic.Fiber.transmit t.nic ~dst:peer (encode (Load_report { node = t.node_id; runnable })))
+    t.peers
+
+(** Co-schedule a gang across all nodes: apply locally and tell peers. *)
+let coschedule t ~gang ~priority =
+  apply_cosched t ~gang ~priority;
+  List.iter
+    (fun peer ->
+      Hw.Nic.Fiber.transmit t.nic ~dst:peer (encode (Coschedule { gang; priority })))
+    t.peers
+
+(** The node (by load report) with the fewest runnable threads — the
+    placement hint distributed scheduling uses. *)
+let least_loaded t =
+  match t.load_reports with
+  | [] -> None
+  | l -> Some (fst (List.fold_left (fun (bn, bv) (n, v) -> if v < bv then (n, v) else (bn, bv)) (List.hd l) l))
+
+let load_reports t = t.load_reports
+let cosched_applied t = t.cosched_applied

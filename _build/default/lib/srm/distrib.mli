@@ -1,0 +1,35 @@
+(** Distributed SRM coordination across MPMs (section 3): load reports and
+    co-scheduling over the fiber channel.  Co-scheduling raises all of a
+    gang's threads to the same priority across nodes at (nearly) the same
+    instant — the pattern section 2.3 prescribes for large parallel
+    programs. *)
+
+open Cachekernel
+
+type message =
+  | Load_report of { node : int; runnable : int }
+  | Coschedule of { gang : int; priority : int }
+
+val encode : message -> Bytes.t
+val decode : Bytes.t -> message option
+
+type t
+
+val start : Manager.t -> net:Hw.Interconnect.t -> t
+(** Attach the SRM to the interconnect via its fiber NIC. *)
+
+val add_peer : t -> int -> unit
+val register_gang : t -> gang:int -> Oid.t list -> unit
+
+val report_load : t -> unit
+(** Broadcast the local runnable count to all peers. *)
+
+val coschedule : t -> gang:int -> priority:int -> unit
+(** Raise the gang's priority locally and on every peer. *)
+
+val least_loaded : t -> int option
+(** Placement hint: the node with the fewest runnable threads. *)
+
+val load_reports : t -> (int * int) list
+val cosched_applied : t -> (int * float) list
+(** (gang, local apply time in simulated us) pairs, for skew measurement. *)

@@ -1,0 +1,65 @@
+(* Resource ledger: what the system resource manager hands out.
+
+   "The SRM allocates processing capacity, memory pages and network
+   capacity to application kernels.  Resources are allocated in large units
+   that the application kernel can then suballocate internally" (section 3):
+   memory in page groups over periods of seconds to minutes, processors and
+   network capacity as percentages over the same extended periods. *)
+
+type grant = {
+  kernel_name : string;
+  mutable groups : int list;
+  mutable cpu_percent : int array;
+  mutable net_percent : int;
+}
+
+type t = {
+  mutable free_groups : int list;
+  cpu_committed : int array; (* percentage committed per CPU *)
+  mutable net_committed : int;
+  mutable grants : grant list;
+}
+
+let create ~groups ~n_cpus =
+  { free_groups = groups; cpu_committed = Array.make n_cpus 0; net_committed = 0; grants = [] }
+
+let free_group_count t = List.length t.free_groups
+
+(** Reserve [n] page groups, [cpu] percent of every processor and [net]
+    percent of network capacity for [kernel_name]. *)
+let allocate t ~kernel_name ~group_count ~cpu_percent ~net_percent =
+  if List.length t.free_groups < group_count then Error `No_memory
+  else if Array.exists (fun c -> c + cpu_percent > 100) t.cpu_committed then
+    Error `No_cpu
+  else if t.net_committed + net_percent > 100 then Error `No_net
+  else begin
+    let rec take n acc rest =
+      if n = 0 then (List.rev acc, rest)
+      else match rest with [] -> (List.rev acc, []) | g :: tl -> take (n - 1) (g :: acc) tl
+    in
+    let groups, rest = take group_count [] t.free_groups in
+    t.free_groups <- rest;
+    Array.iteri (fun i c -> t.cpu_committed.(i) <- c + cpu_percent) t.cpu_committed;
+    t.net_committed <- t.net_committed + net_percent;
+    let g =
+      {
+        kernel_name;
+        groups;
+        cpu_percent = Array.map (fun _ -> cpu_percent) t.cpu_committed;
+        net_percent;
+      }
+    in
+    t.grants <- g :: t.grants;
+    Ok g
+  end
+
+(** Return a grant's resources to the pool (kernel swapped out or exited). *)
+let release t (g : grant) =
+  t.free_groups <- g.groups @ t.free_groups;
+  Array.iteri
+    (fun i c -> t.cpu_committed.(i) <- max 0 (c - g.cpu_percent.(i)))
+    t.cpu_committed;
+  t.net_committed <- max 0 (t.net_committed - g.net_percent);
+  t.grants <- List.filter (fun x -> x != g) t.grants;
+  g.groups <- [];
+  g.net_percent <- 0

@@ -1,0 +1,26 @@
+(** The system resource manager's allocation ledger (section 3): memory in
+    page groups, processors and network capacity as percentages, granted
+    over extended periods for application kernels to suballocate. *)
+
+type grant = {
+  kernel_name : string;
+  mutable groups : int list;
+  mutable cpu_percent : int array;
+  mutable net_percent : int;
+}
+
+type t
+
+val create : groups:int list -> n_cpus:int -> t
+val free_group_count : t -> int
+
+val allocate :
+  t ->
+  kernel_name:string ->
+  group_count:int ->
+  cpu_percent:int ->
+  net_percent:int ->
+  (grant, [ `No_memory | `No_cpu | `No_net ]) result
+
+val release : t -> grant -> unit
+(** Return a grant's resources to the pool. *)

@@ -1,0 +1,190 @@
+(* The system resource manager (section 3).
+
+   One SRM instance runs per Cache Kernel/MPM as the first kernel, created,
+   loaded and locked at boot with full permissions on all physical
+   resources.  It initiates execution of other application kernels —
+   creating their kernel objects, granting page groups, processor
+   percentages and priority caps — acts as the owning kernel for kernel
+   objects (handling their writeback), swaps application kernels out and
+   back in, and polices I/O rates. *)
+
+open Cachekernel
+open Aklib
+
+type launched = {
+  name : string;
+  ak : App_kernel.t;
+  spec : Kernel_obj.spec;
+  grant : Ledger.grant;
+  mutable loaded : bool;
+  mutable swap_outs : int;
+}
+
+(* I/O-rate policing tap: the channel manager's view of one client of the
+   networking facility (section 4.3: rates computed from the interface's
+   transmission counts; offenders are temporarily disconnected). *)
+type tap = {
+  tap_name : string;
+  quota_per_epoch : int; (* packets per policing epoch *)
+  counter : unit -> int;
+  disconnect : unit -> unit;
+  reconnect : unit -> unit;
+  mutable last_count : int;
+  mutable disconnected : bool;
+  mutable penalties : int;
+}
+
+type t = {
+  inst : Instance.t;
+  ak : App_kernel.t; (* the SRM's own application-kernel skeleton *)
+  ledger : Ledger.t;
+  mutable kernels : launched list;
+  mutable taps : tap list;
+  mutable kernel_writebacks : int;
+}
+
+let oid t = App_kernel.oid t.ak
+
+(** Boot the SRM on [inst]: first kernel, locked, all resources.
+    [own_groups] page groups are kept for the SRM's own use (channels,
+    internal threads); the rest form the allocation pool. *)
+let boot inst ?(own_groups = 2) () =
+  let all_groups = List.init (Instance.n_groups inst) Fun.id in
+  let rec split n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | g :: rest -> split (n - 1) (g :: acc) rest
+  in
+  let mine, pool = split own_groups [] all_groups in
+  match App_kernel.boot_first inst ~name:"srm" ~groups:mine () with
+  | Error e -> Error e
+  | Ok ak ->
+    let t =
+      {
+        inst;
+        ak;
+        ledger = Ledger.create ~groups:pool ~n_cpus:(Instance.n_cpus inst);
+        kernels = [];
+        taps = [];
+        kernel_writebacks = 0;
+      }
+    in
+    ak.App_kernel.on_kernel_writeback <-
+      (fun _ak _oid name _reason ->
+        t.kernel_writebacks <- t.kernel_writebacks + 1;
+        (match List.find_opt (fun l -> l.name = name) t.kernels with
+        | Some l -> l.loaded <- false
+        | None -> ()));
+    Ok t
+
+(** Launch an application kernel prepared with {!App_kernel.prepare}:
+    create its kernel object, grant it resources, and give it its own
+    address space. *)
+let launch t ((ak : App_kernel.t), (spec : Kernel_obj.spec)) ~group_count ~cpu_percent ?(net_percent = 10) () =
+  match
+    Ledger.allocate t.ledger ~kernel_name:spec.Kernel_obj.name ~group_count ~cpu_percent
+      ~net_percent
+  with
+  | Error `No_memory -> Error (Api.Bad_argument "no free page groups")
+  | Error `No_cpu -> Error (Api.Bad_argument "no free processor capacity")
+  | Error `No_net -> Error (Api.Bad_argument "no free network capacity")
+  | Ok grant -> (
+    match Api.load_kernel t.inst ~caller:(oid t) spec with
+    | Error e ->
+      Ledger.release t.ledger grant;
+      Error e
+    | Ok koid -> (
+      List.iter
+        (fun g ->
+          ignore
+            (Api.set_mem_access t.inst ~caller:(oid t) ~kernel:koid ~group:g
+               Kernel_obj.Read_write))
+        grant.Ledger.groups;
+      ignore
+        (Api.set_cpu_quota t.inst ~caller:(oid t) ~kernel:koid
+           (Array.make (Instance.n_cpus t.inst) cpu_percent));
+      App_kernel.attach ak ~oid:koid ~groups:grant.Ledger.groups;
+      match App_kernel.init_own_space ak with
+      | Error e -> Error e
+      | Ok _vsp ->
+        let l = { name = spec.Kernel_obj.name; ak; spec; grant; loaded = true; swap_outs = 0 } in
+        t.kernels <- l :: t.kernels;
+        Ok l))
+
+(** Swap an application kernel out: unload its kernel object, which writes
+    back every address space, thread and mapping it owns.  Its state
+    survives in the application kernel's own records (the analogue of the
+    SRM saving it to disk); its Cache Kernel descriptors are all freed. *)
+let swap_out_kernel t l =
+  if not l.loaded then Ok ()
+  else
+    match Api.unload_kernel t.inst ~caller:(oid t) (App_kernel.oid l.ak) with
+    | Ok () ->
+      l.loaded <- false;
+      l.swap_outs <- l.swap_outs + 1;
+      Ok ()
+    | Error e -> Error e
+
+(** Swap an application kernel back in: reload the kernel object (a new
+    identifier), rebind its own space, and reload its internal threads. *)
+let swap_in_kernel t l =
+  if l.loaded then Ok ()
+  else
+    match Api.load_kernel t.inst ~caller:(oid t) l.spec with
+    | Error e -> Error e
+    | Ok koid -> (
+      List.iter
+        (fun g ->
+          ignore
+            (Api.set_mem_access t.inst ~caller:(oid t) ~kernel:koid ~group:g
+               Kernel_obj.Read_write))
+        l.grant.Ledger.groups;
+      App_kernel.attach l.ak ~oid:koid ~groups:[];
+      match App_kernel.reattach_space l.ak with
+      | Error e -> Error e
+      | Ok () ->
+        App_kernel.resume_threads l.ak;
+        l.loaded <- true;
+        Ok ())
+
+(* -- I/O rate policing (section 4.3) -- *)
+
+let register_tap t ~name ~quota_per_epoch ~counter ~disconnect ~reconnect =
+  let tap =
+    {
+      tap_name = name;
+      quota_per_epoch;
+      counter;
+      disconnect;
+      reconnect;
+      last_count = counter ();
+      disconnected = false;
+      penalties = 0;
+    }
+  in
+  t.taps <- tap :: t.taps;
+  tap
+
+(** One policing epoch: compute each client's transfer rate from the
+    interface counters; disconnect clients over quota, reconnect the rest
+    ("exploiting the connection-oriented nature of this networking
+    facility"). *)
+let police_io t =
+  List.iter
+    (fun tap ->
+      let now = tap.counter () in
+      let delta = now - tap.last_count in
+      tap.last_count <- now;
+      if delta > tap.quota_per_epoch && not tap.disconnected then begin
+        tap.disconnected <- true;
+        tap.penalties <- tap.penalties + 1;
+        tap.disconnect ()
+      end
+      else if delta <= tap.quota_per_epoch && tap.disconnected then begin
+        tap.disconnected <- false;
+        tap.reconnect ()
+      end)
+    t.taps
+
+let kernels t = t.kernels
+let ledger t = t.ledger

@@ -1,0 +1,80 @@
+(** The system resource manager (section 3): the first kernel on each MPM.
+
+    Created, loaded and locked at boot with full permissions; initiates
+    execution of other application kernels (kernel objects + page-group,
+    processor-percentage and priority grants), owns kernel objects and
+    handles their writeback, swaps application kernels out and in, and
+    polices I/O rates. *)
+
+open Cachekernel
+open Aklib
+
+type launched = {
+  name : string;
+  ak : App_kernel.t;
+  spec : Kernel_obj.spec;
+  grant : Ledger.grant;
+  mutable loaded : bool;
+  mutable swap_outs : int;
+}
+
+type tap = {
+  tap_name : string;
+  quota_per_epoch : int;
+  counter : unit -> int;
+  disconnect : unit -> unit;
+  reconnect : unit -> unit;
+  mutable last_count : int;
+  mutable disconnected : bool;
+  mutable penalties : int;
+}
+
+type t = {
+  inst : Instance.t;
+  ak : App_kernel.t;
+  ledger : Ledger.t;
+  mutable kernels : launched list;
+  mutable taps : tap list;
+  mutable kernel_writebacks : int;
+}
+
+val oid : t -> Oid.t
+
+val boot : Instance.t -> ?own_groups:int -> unit -> (t, Api.error) result
+(** Boot the SRM as the first kernel; ungranted page groups form the
+    allocation pool. *)
+
+val launch :
+  t ->
+  App_kernel.t * Kernel_obj.spec ->
+  group_count:int ->
+  cpu_percent:int ->
+  ?net_percent:int ->
+  unit ->
+  (launched, Api.error) result
+(** Load an application kernel's kernel object, grant it resources, and
+    give it its own address space. *)
+
+val swap_out_kernel : t -> launched -> (unit, Api.error) result
+(** Unload the kernel object — every space, thread and mapping it owns is
+    written back; it then consumes no Cache Kernel descriptors. *)
+
+val swap_in_kernel : t -> launched -> (unit, Api.error) result
+(** Reload the kernel object (new identifier), rebind its space, reload its
+    threads. *)
+
+val register_tap :
+  t ->
+  name:string ->
+  quota_per_epoch:int ->
+  counter:(unit -> int) ->
+  disconnect:(unit -> unit) ->
+  reconnect:(unit -> unit) ->
+  tap
+
+val police_io : t -> unit
+(** One policing epoch: disconnect clients over their transfer-rate quota,
+    reconnect the reformed (section 4.3). *)
+
+val kernels : t -> launched list
+val ledger : t -> Ledger.t

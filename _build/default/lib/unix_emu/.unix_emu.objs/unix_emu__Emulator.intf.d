@@ -1,0 +1,1 @@
+lib/unix_emu/emulator.mli: Aklib Api App_kernel Buffer Cachekernel Fs Hashtbl Hw Instance Oid Process Syscall

@@ -1,0 +1,1 @@
+lib/unix_emu/fs.ml: Api Array Bytes Cachekernel Hashtbl Hw Instance Signals

@@ -1,0 +1,1 @@
+lib/unix_emu/fs.mli: Bytes Cachekernel Hw Instance Oid

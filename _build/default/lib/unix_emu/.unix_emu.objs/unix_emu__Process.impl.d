@@ -1,0 +1,1 @@
+lib/unix_emu/process.ml: Aklib Buffer Fmt Fs Hashtbl Hw

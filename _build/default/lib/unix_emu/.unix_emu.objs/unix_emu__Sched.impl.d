@@ -1,0 +1,1 @@
+lib/unix_emu/sched.ml: Aklib Api App_kernel Cachekernel Emulator Hashtbl Hw Instance Process Signals Thread_lib Thread_obj

@@ -1,0 +1,1 @@
+lib/unix_emu/swapper.ml: Aklib Api App_kernel Backing_store Cachekernel Emulator Frame_alloc Hashtbl Hw Instance List Option Process Segment Segment_mgr Space_obj Thread_lib

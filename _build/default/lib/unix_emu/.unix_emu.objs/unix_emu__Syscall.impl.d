@@ -1,0 +1,1 @@
+lib/unix_emu/syscall.ml: Cachekernel Hw

@@ -1,0 +1,1 @@
+lib/unix_emu/syscall.mli: Hw

@@ -1,0 +1,59 @@
+(** The UNIX emulator: an operating system kernel in user mode (section 2).
+
+    Keeps its own process table with stable pids (Cache Kernel identifiers
+    change across reloads), executes processes by loading an address space
+    and a thread, pages program text from backing store on demand, puts
+    sleeping processes off-processor by unloading their threads, and marks
+    swapped processes so they consume no Cache Kernel descriptors. *)
+
+open Cachekernel
+open Aklib
+
+type t = {
+  ak : App_kernel.t;
+  procs : (int, Process.t) Hashtbl.t;
+  by_tlid : (int, int) Hashtbl.t;
+  mutable next_pid : int;
+  console : Buffer.t;
+  fs : Fs.t;  (** the file system: emulator state, not Cache Kernel state *)
+  mutable next_pipe : int;
+  mutable spawned : int;
+  mutable exited : int;
+  mutable syscalls : int;
+}
+
+val console : t -> string
+val procs : t -> Process.t list
+val proc : t -> int -> Process.t option
+val proc_of_thread : t -> Oid.t -> Process.t option
+
+val create_process :
+  t ->
+  ?priority:int ->
+  parent:int ->
+  ?inherit_from:Process.t ->
+  Syscall.program ->
+  (Process.t, Api.error) result
+(** Create and start a process.  With [inherit_from], the child's data
+    segment is a copy-on-write image of the parent's. *)
+
+val wakeup_event : t -> string -> unit
+(** Wake every process sleeping on the named event (reloading their
+    threads). *)
+
+val kill_process : t -> Process.t -> code:int -> unit
+
+val dispatch : t -> Oid.t -> Hw.Exec.payload -> Hw.Exec.payload
+(** The trap handler: decode and execute one system call (runs in the
+    trapping thread's handler frame; may block and may unload the very
+    thread it serves). *)
+
+val of_app_kernel : App_kernel.t -> t
+(** Attach the emulator's dispatch and SEGV policy to a prepared
+    application-kernel skeleton (for launching under the SRM). *)
+
+val boot : Instance.t -> groups:int list -> (t, Api.error) result
+(** Boot as the first kernel (single-OS configuration). *)
+
+val start_init : t -> Syscall.program -> (Process.t, Api.error) result
+(** Launch the first user process. *)

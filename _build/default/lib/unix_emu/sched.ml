@@ -1,0 +1,125 @@
+(* The UNIX decay scheduler, running as a locked scheduling thread.
+
+   "The UNIX emulator per-processor scheduling thread wakes up on each
+   rescheduling interval, adjusts the priorities of other threads to
+   enforce its policies, and goes back to sleep ... The scheduling thread
+   is assured of running because it is loaded at high priority and locked
+   in the Cache Kernel" (section 2.3).
+
+   The policy is 4.3BSD-flavoured: each interval, a process's CPU usage
+   estimate decays and recent consumption is added; priority falls as usage
+   rises, so compute-bound processes sink to low priority — which also
+   reduces the premium the emulator is charged against its processor quota
+   (section 4.3). *)
+
+open Cachekernel
+open Aklib
+
+let timer_va = 0x7D000000 (* signal address used by the interval timer *)
+
+type t = {
+  emu : Emulator.t;
+  interval_us : float;
+  mutable ticks : int;
+  mutable tid : int option; (* thread-library id of the scheduling thread *)
+  mutable stop : bool;
+  base_priority : int;
+  min_priority : int;
+}
+
+(* Map a (p_cpu, nice) pair to a Cache Kernel priority. *)
+let priority_of t (p : Process.t) =
+  let penalty = (p.Process.p_cpu / 2) + (p.Process.nice / 4) in
+  max t.min_priority (min t.base_priority (t.base_priority - penalty))
+
+let decay_pass t =
+  let emu = t.emu in
+  let inst = emu.Emulator.ak.App_kernel.inst in
+  t.ticks <- t.ticks + 1;
+  Hashtbl.iter
+    (fun _ (p : Process.t) ->
+      match p.Process.state with
+      | Process.Runnable -> (
+        (* consumption since the last tick, read from the loaded thread *)
+        let consumed =
+          match Thread_lib.oid_of emu.Emulator.ak.App_kernel.threads p.Process.thread with
+          | Some oid -> (
+            match Instance.find_thread inst oid with
+            | Some th -> th.Thread_obj.consumed
+            | None -> p.Process.last_consumed)
+          | None -> p.Process.last_consumed
+        in
+        let delta = max 0 (consumed - p.Process.last_consumed) in
+        p.Process.last_consumed <- consumed;
+        let tick_units = delta / max 1 (Hw.Cost.cycles_of_us t.interval_us / 16) in
+        p.Process.p_cpu <- (p.Process.p_cpu / 2) + tick_units;
+        let prio = priority_of t p in
+        ignore (Thread_lib.set_priority emu.Emulator.ak.App_kernel.threads p.Process.thread prio))
+      | _ -> ())
+    emu.Emulator.procs;
+  Instance.charge inst (50 * max 1 (Hashtbl.length emu.Emulator.procs))
+
+(* Any processes left to schedule?  The scheduling thread retires when the
+   system drains so an idle emulator quiesces. *)
+let live_processes (emu : Emulator.t) =
+  Hashtbl.fold
+    (fun _ (p : Process.t) acc -> acc || not (Process.is_zombie p))
+    emu.Emulator.procs false
+
+(* The scheduling thread body: decay, arm the timer, sleep on its signal. *)
+let body t () =
+  let emu = t.emu in
+  let inst = emu.Emulator.ak.App_kernel.inst in
+  let rec loop () =
+    if (not t.stop) && live_processes emu then begin
+      decay_pass t;
+      (* arm the interval timer: a clock event that signals us *)
+      let self_oid () =
+        match t.tid with
+        | Some id -> Thread_lib.oid_of emu.Emulator.ak.App_kernel.threads id
+        | None -> None
+      in
+      Hw.Mpm.after inst.Instance.node
+        ~delay:(Hw.Cost.cycles_of_us t.interval_us)
+        (fun () ->
+          match self_oid () with
+          | Some oid -> (
+            match Instance.find_thread inst oid with
+            | Some th -> Signals.post_signal inst th ~va:timer_va
+            | None -> ())
+          | None -> ());
+      let rec await () =
+        match Hw.Exec.trap Api.Ck_wait_signal with
+        | Api.Ck_signal va when va = timer_va -> ()
+        | _ -> await ()
+      in
+      await ();
+      loop ()
+    end
+  in
+  loop ()
+
+(** Start the scheduling thread: high priority, locked in the Cache Kernel. *)
+let start emu ~interval_us =
+  let t =
+    {
+      emu;
+      interval_us;
+      ticks = 0;
+      tid = None;
+      stop = false;
+      base_priority = 16;
+      min_priority = 2;
+    }
+  in
+  match
+    App_kernel.spawn_internal emu.Emulator.ak ~priority:28 ~lock:true
+      (Hw.Exec.unit_body (body t))
+  with
+  | Ok tid ->
+    t.tid <- Some tid;
+    Ok t
+  | Error e -> Error e
+
+let stop t = t.stop <- true
+let ticks t = t.ticks

@@ -1,0 +1,127 @@
+(* UNIX system-call vocabulary.
+
+   A UNIX process is a simulated thread running in its own address space;
+   it makes "system calls" by executing a trap instruction, which the Cache
+   Kernel forwards to the emulator (section 2.3's trap forwarding).  This
+   module defines the trap payloads and the libc-like stubs programs call.
+
+   One substitution from real UNIX, recorded in DESIGN.md: [spawn] is
+   fork+exec combined.  Duplicating a running thread would require copying
+   its one-shot continuation, which the execution substrate cannot do; a
+   spawned child gets a fresh program but inherits the parent's data and
+   stack segments copy-on-write, which preserves everything the memory
+   experiments exercise. *)
+
+(** A program image: what exec would load from a file. *)
+type program = {
+  name : string;
+  main : unit -> int; (* returns the exit code *)
+  text_pages : int; (* size of the program image *)
+  data_pages : int;
+}
+
+let program ?(text_pages = 4) ?(data_pages = 16) name main =
+  { name; main; text_pages; data_pages }
+
+type Hw.Exec.payload +=
+  | Sys_getpid
+  | Sys_getppid
+  | Sys_spawn of program * bool (* inherit data copy-on-write? *)
+  | Sys_exit of int
+  | Sys_wait
+  | Sys_sbrk of int (* grow the data region by n bytes *)
+  | Sys_sleep of string (* block on a named event *)
+  | Sys_wakeup of string (* wake all sleepers on the event *)
+  | Sys_write of string (* console output *)
+  | Sys_kill of int * int (* pid, signal *)
+  | Sys_nice of int
+  (* files and pipes: the open file table lives in the emulator only *)
+  | Sys_creat of string
+  | Sys_open of string
+  | Sys_close of int
+  | Sys_read_file of int * int (* fd, length *)
+  | Sys_write_file of int * string
+  | Sys_pipe
+  (* replies *)
+  | Ret_int of int
+  | Ret_pair of int * int
+  | Ret_unit
+  | Ret_str of string
+  | Ret_would_block (* the emulator put us to sleep; retry after wakeup *)
+  | Ret_error of string
+
+let sigkill = 9
+let sigsegv = 11
+
+(* -- Stubs: the "libc" programs link against -- *)
+
+let getpid () =
+  match Hw.Exec.trap Sys_getpid with Ret_int pid -> pid | _ -> -1
+
+let getppid () =
+  match Hw.Exec.trap Sys_getppid with Ret_int pid -> pid | _ -> -1
+
+(** Start [prog] as a child process.  [inherit_memory] shares the parent's
+    data segment copy-on-write, as fork would. *)
+let spawn ?(inherit_memory = false) prog =
+  match Hw.Exec.trap (Sys_spawn (prog, inherit_memory)) with
+  | Ret_int pid -> pid
+  | _ -> -1
+
+(** Terminate the calling process. *)
+let exit code =
+  ignore (Hw.Exec.trap (Sys_exit code));
+  (* the emulator has reaped our process state; stop executing *)
+  ignore (Hw.Exec.trap Cachekernel.Api.Ck_exit);
+  assert false
+
+(** Wait for a child to exit: returns (pid, exit code). *)
+let rec wait () =
+  match Hw.Exec.trap Sys_wait with
+  | Ret_pair (pid, code) -> (pid, code)
+  | Ret_would_block -> wait () (* we slept; a wakeup reloaded us: retry *)
+  | Ret_error _ -> (-1, -1)
+  | _ -> (-1, -1)
+
+(** Grow the data region; returns the previous break. *)
+let sbrk bytes =
+  match Hw.Exec.trap (Sys_sbrk bytes) with Ret_int brk -> brk | _ -> -1
+
+(** Sleep on a named event until somebody calls {!wakeup} on it. *)
+let rec sleep event =
+  match Hw.Exec.trap (Sys_sleep event) with
+  | Ret_would_block ->
+    (* The emulator unloaded us; being re-dispatched means the wakeup
+       arrived.  The retried trap confirms and returns. *)
+    sleep event
+  | _ -> ()
+
+let wakeup event = ignore (Hw.Exec.trap (Sys_wakeup event))
+let write s = ignore (Hw.Exec.trap (Sys_write s))
+let kill pid signal = ignore (Hw.Exec.trap (Sys_kill (pid, signal)))
+let nice n = ignore (Hw.Exec.trap (Sys_nice n))
+let yield () = ignore (Hw.Exec.trap Cachekernel.Api.Ck_yield)
+
+(* -- files and pipes -- *)
+
+let creat name =
+  match Hw.Exec.trap (Sys_creat name) with Ret_int fd -> fd | _ -> -1
+
+let open_file name =
+  match Hw.Exec.trap (Sys_open name) with Ret_int fd -> fd | _ -> -1
+
+let close fd = ignore (Hw.Exec.trap (Sys_close fd))
+
+(** Read up to [len] bytes from [fd]; pipe reads sleep until data. *)
+let rec read_file fd len =
+  match Hw.Exec.trap (Sys_read_file (fd, len)) with
+  | Ret_str s -> s
+  | Ret_would_block -> read_file fd len (* slept; a writer woke us: retry *)
+  | _ -> ""
+
+let write_file fd s =
+  match Hw.Exec.trap (Sys_write_file (fd, s)) with Ret_int n -> n | _ -> -1
+
+(** Create a pipe: (read fd, write fd). *)
+let pipe () =
+  match Hw.Exec.trap Sys_pipe with Ret_pair (r, w) -> (r, w) | _ -> (-1, -1)

@@ -1,0 +1,1 @@
+lib/workload/contention.ml: Aklib Api App_kernel Array Baseline Cachekernel Config Engine Fun Hw Instance Kernel_obj List Segment_mgr Setup Srm Stats Thread_lib Thread_obj

@@ -1,0 +1,1 @@
+lib/workload/ipc.ml: Aklib Api App_kernel Baseline Cachekernel Channel Engine Fun Hw List Segment_mgr Setup Thread_lib

@@ -1,0 +1,1 @@
+lib/workload/locality.ml: Aklib Api Cachekernel Fmt Setup Sim_kernel

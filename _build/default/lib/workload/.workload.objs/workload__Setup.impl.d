@@ -1,0 +1,1 @@
+lib/workload/setup.ml: Aklib Api Array Cachekernel Config Engine Fmt Fun Hw Instance List

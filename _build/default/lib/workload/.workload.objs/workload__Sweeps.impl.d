@@ -1,0 +1,1 @@
+lib/workload/sweeps.ml: Aklib Api App_kernel Cachekernel Config Engine Frame_alloc Hw Instance List Option Region Segment Segment_mgr Setup Stats Thread_lib

@@ -1,0 +1,155 @@
+(* X2: IPC cost versus message size.
+
+   Memory-based messaging's claim (section 2.2): "communication performance
+   is limited primarily by the raw performance of the memory system, not
+   the software overhead of copying, queuing and delivering messages, as
+   arises with other micro-kernels."  So per-message cost should be a small
+   constant (signal delivery) plus memory traffic the receiver would pay
+   anyway — while copy-based IPC pays kernel crossings plus two copies of
+   every word. *)
+
+open Cachekernel
+open Aklib
+
+type point = { words : int; us_per_message : float }
+
+(** Memory-based messaging: one-way message cost for [words]-word payloads
+    over a channel (data written straight into shared memory; one bell
+    write generates the signal). *)
+let mbm_sweep ?(messages = 50) sizes =
+  List.map
+    (fun words ->
+      if words > 1000 then invalid_arg "Ipc.mbm_sweep: message exceeds the data page";
+      let inst = Setup.instance ~cpus:2 () in
+      let ak = Setup.first_kernel inst in
+      let mgr = ak.App_kernel.mgr in
+      let sp_a = Setup.ok (Segment_mgr.create_space mgr) in
+      let sp_b = Setup.ok (Segment_mgr.create_space mgr) in
+      let ab = Channel.create_shared mgr ~name:"data" in
+      let ba = Channel.create_shared mgr ~name:"ack" in
+      let tid_a = ref None and tid_b = ref None in
+      let oid_of r () =
+        match !r with
+        | Some id -> Thread_lib.oid_of ak.App_kernel.threads id
+        | None -> None
+      in
+      let a_tx = Channel.attach mgr sp_a ab ~va:0x50000000 ~role:`Sender in
+      let a_rx =
+        Channel.attach mgr sp_a ba ~va:0x50800000 ~role:(`Receiver (oid_of tid_a))
+      in
+      let b_rx =
+        Channel.attach mgr sp_b ab ~va:0x60000000 ~role:(`Receiver (oid_of tid_b))
+      in
+      let b_tx = Channel.attach mgr sp_b ba ~va:0x60800000 ~role:`Sender in
+      (* bulk protocol: payload words fill the data page from offset 0; the
+         bell word carries the count *)
+      let send_bulk (ep : Channel.endpoint) n =
+        for i = 0 to n - 1 do
+          Hw.Exec.mem_write (ep.Channel.data_va + (4 * i)) i
+        done;
+        Hw.Exec.mem_write ep.Channel.bell_va n
+      in
+      let recv_bulk (ep : Channel.endpoint) =
+        let rec await () =
+          match Hw.Exec.trap Api.Ck_wait_signal with
+          | Api.Ck_signal va when va >= ep.Channel.bell_va -> Hw.Exec.mem_read va
+          | _ -> await ()
+        in
+        let n = await () in
+        for i = 0 to n - 1 do
+          ignore (Hw.Exec.mem_read (ep.Channel.data_va + (4 * i)))
+        done;
+        n
+      in
+      let elapsed = ref 0.0 in
+      let body_a () =
+        send_bulk a_tx 1;
+        ignore (recv_bulk a_rx);
+        let t0 = Hw.Exec.time_us () in
+        for _ = 1 to messages do
+          send_bulk a_tx words;
+          ignore (recv_bulk a_rx)
+        done;
+        elapsed := Hw.Exec.time_us () -. t0
+      in
+      let body_b () =
+        for _ = 0 to messages do
+          ignore (recv_bulk b_rx);
+          send_bulk b_tx 1 (* minimal ack *)
+        done
+      in
+      tid_b :=
+        Some
+          (Setup.ok
+             (Thread_lib.spawn ak.App_kernel.threads ~space_tag:sp_b.Segment_mgr.tag
+                ~priority:12 ~affinity:1 (Hw.Exec.unit_body body_b)));
+      tid_a :=
+        Some
+          (Setup.ok
+             (Thread_lib.spawn ak.App_kernel.threads ~space_tag:sp_a.Segment_mgr.tag
+                ~priority:12 ~affinity:0 (Hw.Exec.unit_body body_a)));
+      ignore (Engine.run [| inst |]);
+      (* subtract the fixed-size ack leg: measure the data leg only *)
+      { words; us_per_message = !elapsed /. float_of_int messages })
+    sizes
+
+(** Copy-based micro-kernel IPC: synchronous call/reply through the kernel
+    (two crossings and a copy per direction). *)
+let microkernel_sweep ?(messages = 50) sizes =
+  List.map
+    (fun words ->
+      let mk = Baseline.Microkernel.create () in
+      let payload = List.init words Fun.id in
+      let elapsed = ref 0.0 in
+      let client () =
+        ignore (Baseline.Microkernel.call ~port:1 [ 0 ]);
+        let t0 = Hw.Exec.time_us () in
+        for _ = 1 to messages do
+          ignore (Baseline.Microkernel.call ~port:1 payload)
+        done;
+        elapsed := Hw.Exec.time_us () -. t0;
+        Hw.Exec.Unit_payload
+      in
+      let server () =
+        for _ = 0 to messages do
+          Baseline.Microkernel.serve_one ~port:1 ~handle:(fun _req -> [ 0 ])
+        done;
+        Hw.Exec.Unit_payload
+      in
+      ignore (Baseline.Runtime.spawn mk.Baseline.Microkernel.rt server);
+      ignore (Baseline.Runtime.spawn mk.Baseline.Microkernel.rt client);
+      Baseline.Runtime.run mk.Baseline.Microkernel.rt;
+      { words; us_per_message = !elapsed /. float_of_int messages })
+    sizes
+
+(** Monolithic pipes: same shape as the micro-kernel but one kernel, still
+    copying through a kernel buffer. *)
+let pipe_sweep ?(messages = 50) sizes =
+  List.map
+    (fun words ->
+      let mono = Baseline.Monolithic.create () in
+      let payload = List.init words Fun.id in
+      let elapsed = ref 0.0 in
+      let writer () =
+        Baseline.Monolithic.pipe_write 1 [ 0 ];
+        ignore (Baseline.Monolithic.pipe_read 2);
+        let t0 = Hw.Exec.time_us () in
+        for _ = 1 to messages do
+          Baseline.Monolithic.pipe_write 1 payload;
+          ignore (Baseline.Monolithic.pipe_read 2)
+        done;
+        elapsed := Hw.Exec.time_us () -. t0;
+        Hw.Exec.Unit_payload
+      in
+      let reader () =
+        for _ = 0 to messages do
+          ignore (Baseline.Monolithic.pipe_read 1);
+          Baseline.Monolithic.pipe_write 2 [ 0 ]
+        done;
+        Hw.Exec.Unit_payload
+      in
+      ignore (Baseline.Runtime.spawn mono.Baseline.Monolithic.rt reader);
+      ignore (Baseline.Runtime.spawn mono.Baseline.Monolithic.rt writer);
+      Baseline.Runtime.run mono.Baseline.Monolithic.rt;
+      { words; us_per_message = !elapsed /. float_of_int messages })
+    sizes

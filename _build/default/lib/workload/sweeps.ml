@@ -1,0 +1,130 @@
+(* Cache-behaviour sweeps (section 5.2, experiments C1 and C2).
+
+   The Cache Kernel "can be expected to perform well with programs that are
+   reasonably structured, and is not the key performance problem for those
+   that are not": within descriptor-cache capacity, context switching and
+   memory touching are cheap; past capacity, load/unload writeback traffic
+   appears — and the paper argues the application was already paying a
+   larger price (context-switch overhead, TLB misses, paging I/O) by then. *)
+
+open Cachekernel
+open Aklib
+
+(* -- C1: thread-cache sweep -- *)
+
+type thread_point = {
+  n_threads : int;
+  capacity : int;
+  us_per_thread_round : float;
+  thread_writebacks : int;
+  reloads : int;
+}
+
+(** Run [n] compute+yield threads through [rounds] rounds against a thread
+    cache of [capacity] descriptors.  Threads displaced by replacement are
+    reloaded by the application kernel (the churn the paper predicts once a
+    system actively switches among more threads than the cache holds). *)
+let thread_point ?(capacity = 64) ?(rounds = 20) n =
+  let config = { Config.default with Config.thread_cache = capacity } in
+  let inst = Setup.instance ~config ~cpus:1 () in
+  let ak = Setup.first_kernel inst in
+  let vsp = Setup.ok (Segment_mgr.create_space ak.App_kernel.mgr) in
+  let body () =
+    for _ = 1 to rounds do
+      Hw.Exec.compute 1500;
+      ignore (Hw.Exec.trap Api.Ck_yield)
+    done
+  in
+  let tids =
+    List.init n (fun _ ->
+        Setup.ok
+          (Thread_lib.spawn ak.App_kernel.threads ~space_tag:vsp.Segment_mgr.tag
+             ~priority:8 (Hw.Exec.unit_body body)))
+  in
+  let t0 = Setup.now_us inst in
+  let reloads = ref 0 in
+  let rec drive () =
+    ignore (Engine.run [| inst |]);
+    (* reload any threads displaced mid-computation *)
+    let pending =
+      List.filter
+        (fun id ->
+          (not (Thread_lib.exited ak.App_kernel.threads id))
+          && not (Thread_lib.running ak.App_kernel.threads id))
+        tids
+    in
+    if pending <> [] then begin
+      List.iter
+        (fun id ->
+          incr reloads;
+          ignore (Thread_lib.schedule ak.App_kernel.threads id))
+        pending;
+      drive ()
+    end
+  in
+  drive ();
+  let elapsed = Setup.now_us inst -. t0 in
+  {
+    n_threads = n;
+    capacity;
+    us_per_thread_round = elapsed /. float_of_int (n * rounds);
+    thread_writebacks = inst.Instance.stats.Stats.threads.Stats.writebacks;
+    reloads = !reloads;
+  }
+
+let thread_sweep ?capacity ?rounds counts = List.map (thread_point ?capacity ?rounds) counts
+
+(* -- C2: mapping-cache sweep -- *)
+
+type page_point = {
+  pages : int;
+  mapping_capacity : int;
+  mapping_loads : int;
+  faults : int;
+  us_per_access : float;
+}
+
+(** One thread sweeps a working set of [pages] pages [passes] times against
+    a mapping cache of [mapping_capacity] descriptors.  Below capacity the
+    mappings load once; above it every pass refaults (thrash). *)
+let page_point ?(mapping_capacity = 256) ?(passes = 4) pages =
+  let config = { Config.default with Config.mapping_cache = mapping_capacity } in
+  let inst = Setup.instance ~config ~cpus:1 () in
+  let ak = Setup.first_kernel inst in
+  let mgr = ak.App_kernel.mgr in
+  let vsp = Setup.ok (Segment_mgr.create_space mgr) in
+  let seg = Segment_mgr.create_segment mgr ~name:"sweep" ~pages in
+  let base = 0x40000000 in
+  Segment_mgr.attach_region mgr vsp
+    (Region.v ~va_start:base ~pages ~segment:seg ~seg_offset:0 ());
+  (* pre-resident: only mapping descriptors are exercised, not paging *)
+  for page = 0 to pages - 1 do
+    let pfn = Option.get (Frame_alloc.alloc ak.App_kernel.frames) in
+    Segment.set_state seg page
+      (Segment.In_memory
+         { Segment.pfn; dirty = false; backing = None; mappers = []; cow_pending = None })
+  done;
+  let body () =
+    for _ = 1 to passes do
+      for p = 0 to pages - 1 do
+        ignore (Hw.Exec.mem_read (base + (p * Hw.Addr.page_size)))
+      done
+    done
+  in
+  let t0 = Setup.now_us inst in
+  ignore
+    (Setup.ok
+       (Thread_lib.spawn ak.App_kernel.threads ~space_tag:vsp.Segment_mgr.tag ~priority:8
+          (Hw.Exec.unit_body body)));
+  ignore (Engine.run [| inst |]);
+  let elapsed = Setup.now_us inst -. t0 in
+  {
+    pages;
+    mapping_capacity;
+    mapping_loads = inst.Instance.stats.Stats.mappings.Stats.loads;
+    faults = inst.Instance.stats.Stats.faults_forwarded;
+    us_per_access = elapsed /. float_of_int (passes * pages);
+  }
+
+let page_sweep ?mapping_capacity ?passes working_sets =
+  List.map (page_point ?mapping_capacity ?passes) working_sets

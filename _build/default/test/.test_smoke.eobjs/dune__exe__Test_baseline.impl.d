@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Baseline Hw List Result Workload

@@ -1,0 +1,1 @@
+test/test_ck.ml: Alcotest Api Array Cachekernel Config Hw Instance Kernel_obj List Mappings Oid Option QCheck QCheck_alcotest Queue Quota Scheduler Space_obj Stats Thread_obj Wb

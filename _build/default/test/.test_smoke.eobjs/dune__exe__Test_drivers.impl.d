@@ -1,0 +1,1 @@
+test/test_drivers.ml: Aklib Alcotest Api App_kernel Bytes Cachekernel Char Drivers Engine Frame_alloc Fun Hashtbl Hw Instance List Oid Option Printf Segment_mgr Thread_lib

@@ -1,0 +1,1 @@
+test/test_dsm.ml: Aklib Alcotest Api App_kernel Cachekernel Dsm Engine Fun Hw Instance List Printf Segment_mgr Stats Thread_lib

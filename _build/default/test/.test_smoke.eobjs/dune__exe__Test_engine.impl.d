@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Api Array Cachekernel Caches Config Engine Hw Instance Kernel_obj List Oid Option Queue Stats Thread_obj Trace Wb

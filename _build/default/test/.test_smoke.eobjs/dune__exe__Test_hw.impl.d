@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Bytes Effect Hw List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Api Cachekernel Engine Hw Instance Kernel_obj List Oid Option Stats Thread_obj Trace

@@ -1,0 +1,1 @@
+test/test_srm.ml: Aklib Alcotest Api App_kernel Array Cachekernel Engine Frame_alloc Hw Instance List Option Segment_mgr Srm Thread_lib Thread_obj

@@ -1,0 +1,1 @@
+test/test_unix.ml: Aklib Alcotest Api Buffer Cachekernel Emulator Engine Fun Hashtbl Hw Instance List Option Printf Process Sched Stats String Swapper Syscall Thread_obj Unix_emu

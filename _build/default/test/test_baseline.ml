@@ -1,0 +1,89 @@
+(* Baseline (comparator) kernel tests: the monolithic kernel's static
+   tables and pipes, and the micro-kernel's copy IPC. *)
+
+let test_monolithic_syscalls () =
+  let mono = Baseline.Monolithic.create () in
+  let pid = ref 0 in
+  let body () =
+    pid := Baseline.Monolithic.getpid ();
+    Hw.Exec.Unit_payload
+  in
+  ignore (Baseline.Runtime.spawn mono.Baseline.Monolithic.rt body);
+  Baseline.Runtime.run mono.Baseline.Monolithic.rt;
+  Alcotest.(check bool) "getpid returned the thread id" true (!pid > 0)
+
+let test_monolithic_nproc () =
+  let mono = Baseline.Monolithic.create ~nproc:4 () in
+  let results = ref [] in
+  let body () =
+    for _ = 1 to 6 do
+      results := Baseline.Monolithic.fork () :: !results
+    done;
+    Hw.Exec.Unit_payload
+  in
+  ignore (Baseline.Runtime.spawn mono.Baseline.Monolithic.rt body);
+  Baseline.Runtime.run mono.Baseline.Monolithic.rt;
+  let oks = List.length (List.filter Result.is_ok !results) in
+  let errs = List.length (List.filter Result.is_error !results) in
+  Alcotest.(check int) "four slots granted" 4 oks;
+  Alcotest.(check int) "then hard EAGAIN" 2 errs;
+  Alcotest.(check int) "counter" 2 mono.Baseline.Monolithic.eagains
+
+let test_monolithic_pipe () =
+  let mono = Baseline.Monolithic.create () in
+  let got = ref [] in
+  let reader () =
+    got := Baseline.Monolithic.pipe_read 9;
+    Hw.Exec.Unit_payload
+  in
+  let writer () =
+    Baseline.Monolithic.pipe_write 9 [ 1; 2; 3 ];
+    Hw.Exec.Unit_payload
+  in
+  ignore (Baseline.Runtime.spawn mono.Baseline.Monolithic.rt reader);
+  ignore (Baseline.Runtime.spawn mono.Baseline.Monolithic.rt writer);
+  Baseline.Runtime.run mono.Baseline.Monolithic.rt;
+  Alcotest.(check (list int)) "pipe data" [ 1; 2; 3 ] !got
+
+let test_microkernel_rpc () =
+  let mk = Baseline.Microkernel.create () in
+  let reply = ref [] in
+  let client () =
+    reply := Baseline.Microkernel.call ~port:5 [ 10; 20 ];
+    Hw.Exec.Unit_payload
+  in
+  let server () =
+    Baseline.Microkernel.serve_one ~port:5 ~handle:(fun req ->
+        List.map (fun x -> x * 2) req);
+    Hw.Exec.Unit_payload
+  in
+  ignore (Baseline.Runtime.spawn mk.Baseline.Microkernel.rt server);
+  ignore (Baseline.Runtime.spawn mk.Baseline.Microkernel.rt client);
+  Baseline.Runtime.run mk.Baseline.Microkernel.rt;
+  Alcotest.(check (list int)) "rpc round trip" [ 20; 40 ] !reply
+
+let test_copy_cost_scales () =
+  (* the defining property of copy IPC: cost grows with message size *)
+  let per_size words =
+    match Workload.Ipc.microkernel_sweep ~messages:10 [ words ] with
+    | [ p ] -> p.Workload.Ipc.us_per_message
+    | _ -> Alcotest.fail "sweep shape"
+  in
+  let small = per_size 1 and big = per_size 500 in
+  Alcotest.(check bool) "500-word message costs more" true (big > small +. 50.0)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "monolithic",
+        [
+          Alcotest.test_case "syscall service" `Quick test_monolithic_syscalls;
+          Alcotest.test_case "NPROC hard limit" `Quick test_monolithic_nproc;
+          Alcotest.test_case "pipes with copies" `Quick test_monolithic_pipe;
+        ] );
+      ( "microkernel",
+        [
+          Alcotest.test_case "call/serve rpc" `Quick test_microkernel_rpc;
+          Alcotest.test_case "copy cost scales with size" `Quick test_copy_cost_scales;
+        ] );
+    ]

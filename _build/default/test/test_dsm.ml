@@ -1,0 +1,113 @@
+(* Distributed shared memory over consistency faults (section 2.1):
+   a page whose authoritative copy is remote raises a consistency fault;
+   the application kernels' DSM protocol migrates the page between nodes
+   over the fiber channel, and the faulting access retries. *)
+
+open Cachekernel
+open Aklib
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "api error: %a" Api.pp_error e
+
+let pages = 4
+let base = 0x30000000
+
+let make_node ~net ~id =
+  let inst =
+    Instance.create (Hw.Mpm.create ~node_id:id ~cpus:2 ~mem_size:(16 * 1024 * 1024) ())
+  in
+  let groups = List.init (Instance.n_groups inst) Fun.id in
+  let ak = ok (App_kernel.boot_first inst ~name:(Printf.sprintf "dsm%d" id) ~groups ()) in
+  let vsp = ok (Segment_mgr.create_space ak.App_kernel.mgr) in
+  let dsm = Dsm.create ak ~net ~home:0 ~pages ~va_base:base vsp in
+  (inst, ak, vsp, dsm)
+
+let spawn ak vsp body =
+  ok
+    (Thread_lib.spawn ak.App_kernel.threads ~space_tag:vsp.Segment_mgr.tag ~priority:10
+       (Hw.Exec.unit_body body))
+
+let test_page_migration () =
+  let net = Hw.Interconnect.create () in
+  let inst0, ak0, vsp0, dsm0 = make_node ~net ~id:0 in
+  let inst1, ak1, vsp1, dsm1 = make_node ~net ~id:1 in
+  let phase = ref `Home_writes in
+  let sum_at_1 = ref 0 and sum_back_at_0 = ref 0 in
+  (* node 0 (home): write initial values, wait, then read node 1's updates *)
+  let body0 () =
+    for p = 0 to pages - 1 do
+      Hw.Exec.mem_write (base + (p * Hw.Addr.page_size)) (100 + p)
+    done;
+    phase := `Remote_reads;
+    let rec wait () =
+      if !phase <> `Home_reads then begin
+        Hw.Exec.compute 2000;
+        ignore (Hw.Exec.trap Api.Ck_yield);
+        wait ()
+      end
+    in
+    wait ();
+    for p = 0 to pages - 1 do
+      sum_back_at_0 := !sum_back_at_0 + Hw.Exec.mem_read (base + (p * Hw.Addr.page_size))
+    done
+  in
+  (* node 1: fault the pages over, read, overwrite *)
+  let body1 () =
+    let rec wait () =
+      if !phase <> `Remote_reads then begin
+        Hw.Exec.compute 2000;
+        ignore (Hw.Exec.trap Api.Ck_yield);
+        wait ()
+      end
+    in
+    wait ();
+    for p = 0 to pages - 1 do
+      sum_at_1 := !sum_at_1 + Hw.Exec.mem_read (base + (p * Hw.Addr.page_size))
+    done;
+    for p = 0 to pages - 1 do
+      Hw.Exec.mem_write (base + (p * Hw.Addr.page_size)) (1000 + p)
+    done;
+    phase := `Home_reads
+  in
+  ignore (spawn ak0 vsp0 body0);
+  ignore (spawn ak1 vsp1 body1);
+  ignore (Engine.run [| inst0; inst1 |]);
+  Alcotest.(check int) "node 1 read the home's values" (100 + 101 + 102 + 103) !sum_at_1;
+  Alcotest.(check int) "home read node 1's updates back" (1000 + 1001 + 1002 + 1003)
+    !sum_back_at_0;
+  (* pages migrated: node 0 fetched them back, so they are valid there *)
+  Alcotest.(check bool) "home holds the pages again" true (Dsm.state dsm0 0 = Dsm.Valid);
+  Alcotest.(check bool) "node 1's copies invalidated" true
+    (Dsm.state dsm1 0 = Dsm.Invalid);
+  Alcotest.(check bool) "fetches flowed through the home" true (Dsm.fetches dsm0 >= 8);
+  Alcotest.(check bool) "invalidations happened" true (Dsm.invalidations dsm1 >= 4);
+  (* consistency faults were forwarded like any other exception *)
+  Alcotest.(check bool) "consistency faults at node 1" true
+    (inst1.Instance.stats.Stats.faults_forwarded >= 4)
+
+let test_waiters_coalesce () =
+  (* two threads on the same node faulting the same page: one fetch *)
+  let net = Hw.Interconnect.create () in
+  let inst0, _ak0, _vsp0, dsm0 = make_node ~net ~id:0 in
+  let inst1, ak1, vsp1, _dsm1 = make_node ~net ~id:1 in
+  let hits = ref 0 in
+  let reader () =
+    ignore (Hw.Exec.mem_read base);
+    incr hits
+  in
+  ignore (spawn ak1 vsp1 reader);
+  ignore (spawn ak1 vsp1 reader);
+  ignore (Engine.run [| inst0; inst1 |]);
+  Alcotest.(check int) "both threads completed" 2 !hits;
+  Alcotest.(check int) "a single fetch served both" 1 (Dsm.fetches dsm0)
+
+let () =
+  Alcotest.run "dsm"
+    [
+      ( "migration",
+        [
+          Alcotest.test_case "pages migrate both ways" `Quick test_page_migration;
+          Alcotest.test_case "waiters coalesce per page" `Quick test_waiters_coalesce;
+        ] );
+    ]

@@ -1,0 +1,313 @@
+(* Unit and property tests for the hardware substrate. *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* -- Addr -- *)
+
+let test_addr () =
+  Alcotest.(check int) "page of" 3 (Hw.Addr.page_of (3 * 4096));
+  Alcotest.(check int) "offset" 123 (Hw.Addr.offset_of ((7 * 4096) + 123));
+  Alcotest.(check int) "page base" (7 * 4096) (Hw.Addr.page_base ((7 * 4096) + 123));
+  Alcotest.(check int) "group of page" 1 (Hw.Addr.group_of_page 128);
+  Alcotest.(check int) "first page of group" 256 (Hw.Addr.first_page_of_group 2);
+  Alcotest.(check int) "round up" 4096 (Hw.Addr.round_up_page 1);
+  Alcotest.(check int) "round up exact" 8192 (Hw.Addr.round_up_page 8192);
+  Alcotest.(check bool) "aligned" true (Hw.Addr.word_aligned 8);
+  Alcotest.(check bool) "unaligned" false (Hw.Addr.word_aligned 9)
+
+let prop_addr_roundtrip =
+  QCheck.Test.make ~name:"addr: page*size + offset reconstructs"
+    QCheck.(pair (int_bound 100000) (int_bound 4095))
+    (fun (page, off) ->
+      let addr = Hw.Addr.addr_of_page page + off in
+      Hw.Addr.page_of addr = page && Hw.Addr.offset_of addr = off)
+
+(* -- Cost -- *)
+
+let test_cost () =
+  Alcotest.(check (float 0.001)) "25 cycles = 1us" 1.0 (Hw.Cost.us_of_cycles 25);
+  Alcotest.(check int) "us to cycles" 25 (Hw.Cost.cycles_of_us 1.0);
+  Alcotest.(check int) "roundtrip" 12345 (Hw.Cost.cycles_of_us (Hw.Cost.us_of_cycles 12345))
+
+(* -- Phys_mem -- *)
+
+let test_phys_mem () =
+  let mem = Hw.Phys_mem.create ~size:(1024 * 1024) in
+  Hw.Phys_mem.write_word mem 0x1000 0xDEADBEEF;
+  Alcotest.(check int) "word roundtrip" 0xDEADBEEF (Hw.Phys_mem.read_word mem 0x1000);
+  Alcotest.(check int) "lazy pages read zero" 0 (Hw.Phys_mem.read_word mem 0x8000);
+  let data = Bytes.of_string "hello, cache kernel" in
+  Hw.Phys_mem.write_bytes mem 0xFFA data (* crosses a page boundary *);
+  Alcotest.(check string) "bytes across pages" "hello, cache kernel"
+    (Bytes.to_string (Hw.Phys_mem.read_bytes mem 0xFFA (Bytes.length data)));
+  Hw.Phys_mem.write_word mem 0x3000 0xDEADBEEF;
+  Hw.Phys_mem.copy_page mem ~src:3 ~dst:5;
+  Alcotest.(check int) "copied page" 0xDEADBEEF (Hw.Phys_mem.read_word mem 0x5000);
+  Hw.Phys_mem.zero_page mem 5;
+  Alcotest.(check int) "zeroed page" 0 (Hw.Phys_mem.read_word mem 0x5000)
+
+let prop_phys_mem_roundtrip =
+  QCheck.Test.make ~name:"phys_mem: word write/read roundtrip"
+    QCheck.(pair (int_bound 4095) (int_bound 0xFFFFFF))
+    (fun (word_idx, v) ->
+      let mem = Hw.Phys_mem.create ~size:(16 * 1024 * 1024) in
+      let addr = word_idx * 4 in
+      Hw.Phys_mem.write_word mem addr v;
+      Hw.Phys_mem.read_word mem addr = v)
+
+(* -- Page_table -- *)
+
+let entry pfn = Hw.Page_table.make_entry ~frame:pfn ~flags:Hw.Page_table.rw ()
+
+let test_page_table () =
+  let t = Hw.Page_table.create () in
+  Alcotest.(check int) "empty count" 0 (Hw.Page_table.count t);
+  Alcotest.(check int) "empty space" 512 (Hw.Page_table.space_bytes t);
+  ignore (Hw.Page_table.insert t 0x40000000 (entry 7));
+  Alcotest.(check int) "one mapping" 1 (Hw.Page_table.count t);
+  Alcotest.(check int) "space after insert: root+mid+leaf" (512 + 512 + 256)
+    (Hw.Page_table.space_bytes t);
+  (match Hw.Page_table.lookup t 0x40000123 with
+  | Some e, levels ->
+    Alcotest.(check int) "frame" 7 e.Hw.Page_table.frame;
+    Alcotest.(check int) "walk depth" 3 levels
+  | None, _ -> Alcotest.fail "mapping missing");
+  (* a second page in the same leaf adds no table space *)
+  ignore (Hw.Page_table.insert t 0x40001000 (entry 8));
+  Alcotest.(check int) "same leaf, same space" (512 + 512 + 256)
+    (Hw.Page_table.space_bytes t);
+  (* removal frees empty tables *)
+  ignore (Hw.Page_table.remove t 0x40000000);
+  ignore (Hw.Page_table.remove t 0x40001000);
+  Alcotest.(check int) "tables reclaimed" 512 (Hw.Page_table.space_bytes t);
+  Alcotest.(check int) "count zero again" 0 (Hw.Page_table.count t)
+
+let prop_page_table =
+  QCheck.Test.make ~name:"page_table: insert/remove keeps count and contents" ~count:100
+    QCheck.(small_list (int_bound 5000))
+    (fun pages ->
+      let t = Hw.Page_table.create () in
+      let uniq = List.sort_uniq compare pages in
+      List.iter (fun p -> ignore (Hw.Page_table.insert t (p * 4096) (entry p))) uniq;
+      let count_ok = Hw.Page_table.count t = List.length uniq in
+      let lookup_ok =
+        List.for_all
+          (fun p ->
+            match Hw.Page_table.lookup t (p * 4096) with
+            | Some e, _ -> e.Hw.Page_table.frame = p
+            | None, _ -> false)
+          uniq
+      in
+      List.iter (fun p -> ignore (Hw.Page_table.remove t (p * 4096))) uniq;
+      count_ok && lookup_ok
+      && Hw.Page_table.count t = 0
+      && Hw.Page_table.space_bytes t = 512)
+
+(* -- TLB -- *)
+
+let test_tlb () =
+  let tlb = Hw.Tlb.create ~size:4 () in
+  let e = entry 9 in
+  Alcotest.(check bool) "miss on empty" true (Hw.Tlb.lookup tlb ~asid:1 ~vpn:5 = None);
+  Hw.Tlb.insert tlb ~asid:1 ~vpn:5 ~pte:e;
+  Alcotest.(check bool) "hit" true (Hw.Tlb.lookup tlb ~asid:1 ~vpn:5 <> None);
+  Alcotest.(check bool) "other asid misses" true (Hw.Tlb.lookup tlb ~asid:2 ~vpn:5 = None);
+  (* FIFO eviction at capacity *)
+  for i = 10 to 13 do
+    Hw.Tlb.insert tlb ~asid:1 ~vpn:i ~pte:e
+  done;
+  Alcotest.(check bool) "evicted after capacity inserts" true
+    (Hw.Tlb.lookup tlb ~asid:1 ~vpn:5 = None);
+  Hw.Tlb.flush_space tlb ~asid:1;
+  Alcotest.(check bool) "flush space" true (Hw.Tlb.lookup tlb ~asid:1 ~vpn:12 = None);
+  Alcotest.(check bool) "stats counted" true (Hw.Tlb.misses tlb > 0 && Hw.Tlb.hits tlb > 0)
+
+let test_rtlb () =
+  let r = Hw.Rtlb.create ~size:4 () in
+  Hw.Rtlb.insert r ~pfn:7 ~va_base:0x4000 ~tag:99;
+  (match Hw.Rtlb.lookup r ~pfn:7 with
+  | Some (va, tag) ->
+    Alcotest.(check int) "va" 0x4000 va;
+    Alcotest.(check int) "tag" 99 tag
+  | None -> Alcotest.fail "rtlb miss");
+  Hw.Rtlb.flush_pfn r ~pfn:7;
+  Alcotest.(check bool) "flushed" true (Hw.Rtlb.lookup r ~pfn:7 = None);
+  Hw.Rtlb.insert r ~pfn:8 ~va_base:0 ~tag:1;
+  Hw.Rtlb.insert r ~pfn:9 ~va_base:0 ~tag:2;
+  Hw.Rtlb.flush_tag r ~pred:(fun t -> t = 1);
+  Alcotest.(check bool) "tag flush selective" true
+    (Hw.Rtlb.lookup r ~pfn:8 = None && Hw.Rtlb.lookup r ~pfn:9 <> None)
+
+(* -- Cache_sim -- *)
+
+let test_cache_sim () =
+  let c = Hw.Cache_sim.create ~size_bytes:1024 ~line_size:32 () in
+  Alcotest.(check bool) "first access misses" true (Hw.Cache_sim.access c 0x100 = `Miss);
+  Alcotest.(check bool) "second access hits" true (Hw.Cache_sim.access c 0x104 = `Hit);
+  (* conflicting line (same index, different tag: 1024 bytes = 32 lines) *)
+  Alcotest.(check bool) "conflict misses" true (Hw.Cache_sim.access c (0x100 + 1024) = `Miss);
+  Alcotest.(check bool) "original evicted" true (Hw.Cache_sim.access c 0x100 = `Miss);
+  Hw.Cache_sim.flush_page c ~pfn:0;
+  Alcotest.(check bool) "flushed page misses" true (Hw.Cache_sim.access c 0x100 = `Miss)
+
+(* -- Event_queue -- *)
+
+let test_event_queue () =
+  let q = Hw.Event_queue.create () in
+  let order = ref [] in
+  Hw.Event_queue.schedule q ~time:30 (fun () -> order := 30 :: !order);
+  Hw.Event_queue.schedule q ~time:10 (fun () -> order := 10 :: !order);
+  Hw.Event_queue.schedule q ~time:20 (fun () -> order := 20 :: !order);
+  Alcotest.(check (option int)) "peek" (Some 10) (Hw.Event_queue.next_time q);
+  while not (Hw.Event_queue.is_empty q) do
+    ignore (Hw.Event_queue.run_next q)
+  done;
+  Alcotest.(check (list int)) "time order" [ 10; 20; 30 ] (List.rev !order)
+
+let prop_event_queue =
+  QCheck.Test.make ~name:"event_queue: dequeues in nondecreasing time order" ~count:100
+    QCheck.(list (int_bound 10000))
+    (fun times ->
+      let q = Hw.Event_queue.create () in
+      List.iter (fun t -> Hw.Event_queue.schedule q ~time:t (fun () -> ())) times;
+      let out = ref [] in
+      while not (Hw.Event_queue.is_empty q) do
+        out := Hw.Event_queue.run_next q :: !out
+      done;
+      List.rev !out = List.sort compare times)
+
+(* -- MMU -- *)
+
+let test_mmu () =
+  let tlb = Hw.Tlb.create () in
+  let table = Hw.Page_table.create () in
+  let miss =
+    Hw.Mmu.translate ~tlb ~table ~asid:1 ~va:0x5000 ~access:Hw.Mmu.Read
+  in
+  (match miss with
+  | Error f -> Alcotest.(check bool) "missing mapping" true (f.Hw.Mmu.kind = Hw.Mmu.Missing_mapping)
+  | Ok _ -> Alcotest.fail "expected fault");
+  let e = Hw.Page_table.make_entry ~frame:9 ~flags:Hw.Page_table.ro () in
+  ignore (Hw.Page_table.insert table 0x5000 e);
+  (match Hw.Mmu.translate ~tlb ~table ~asid:1 ~va:0x5004 ~access:Hw.Mmu.Read with
+  | Ok tr ->
+    Alcotest.(check int) "paddr" ((9 * 4096) + 4) tr.Hw.Mmu.paddr;
+    Alcotest.(check bool) "walk on first access" false tr.Hw.Mmu.tlb_hit;
+    Alcotest.(check bool) "referenced set" true e.Hw.Page_table.referenced
+  | Error _ -> Alcotest.fail "expected success");
+  (match Hw.Mmu.translate ~tlb ~table ~asid:1 ~va:0x5008 ~access:Hw.Mmu.Read with
+  | Ok tr -> Alcotest.(check bool) "tlb hit on second access" true tr.Hw.Mmu.tlb_hit
+  | Error _ -> Alcotest.fail "expected success");
+  (match Hw.Mmu.translate ~tlb ~table ~asid:1 ~va:0x5000 ~access:Hw.Mmu.Write with
+  | Error f ->
+    Alcotest.(check bool) "write to ro page" true (f.Hw.Mmu.kind = Hw.Mmu.Protection_violation)
+  | Ok _ -> Alcotest.fail "expected protection fault");
+  e.Hw.Page_table.remote <- true;
+  (match Hw.Mmu.translate ~tlb ~table ~asid:1 ~va:0x5000 ~access:Hw.Mmu.Read with
+  | Error f ->
+    Alcotest.(check bool) "consistency fault on remote line" true
+      (f.Hw.Mmu.kind = Hw.Mmu.Consistency_fault)
+  | Ok _ -> Alcotest.fail "expected consistency fault")
+
+(* -- Exec -- *)
+
+let test_exec () =
+  let status = Hw.Exec.start (fun () -> Hw.Exec.Int_payload 42) in
+  (match status with
+  | Hw.Exec.Done (Hw.Exec.Int_payload 42) -> ()
+  | _ -> Alcotest.fail "immediate completion");
+  let status =
+    Hw.Exec.start (fun () ->
+        Hw.Exec.compute 100;
+        Hw.Exec.Unit_payload)
+  in
+  (match status with
+  | Hw.Exec.On_compute (100, k) -> (
+    match Effect.Deep.continue k () with
+    | Hw.Exec.Done Hw.Exec.Unit_payload -> ()
+    | _ -> Alcotest.fail "continue after compute")
+  | _ -> Alcotest.fail "expected compute");
+  let status = Hw.Exec.start (fun () -> failwith "boom") in
+  match status with
+  | Hw.Exec.Failed (Failure msg) -> Alcotest.(check string) "message" "boom" msg
+  | _ -> Alcotest.fail "exception capture"
+
+(* -- Disk -- *)
+
+let test_disk () =
+  let events = Hw.Event_queue.create () in
+  let now = ref 0 in
+  let disk = Hw.Disk.create ~events ~now:(fun () -> !now) in
+  let b = Hw.Disk.alloc_block disk in
+  let done_w = ref false and got = ref Bytes.empty in
+  Hw.Disk.write disk ~block:b (Bytes.make 4096 'x') (fun () -> done_w := true);
+  Alcotest.(check bool) "write pending until event runs" false !done_w;
+  now := Hw.Event_queue.run_next events;
+  Alcotest.(check bool) "write completed" true !done_w;
+  Alcotest.(check bool) "latency charged" true (!now >= Hw.Cost.disk_seek);
+  Hw.Disk.read disk ~block:b (fun data -> got := data);
+  ignore (Hw.Event_queue.run_next events);
+  Alcotest.(check char) "data read back" 'x' (Bytes.get !got 0)
+
+(* -- Interconnect + NIC -- *)
+
+let test_interconnect () =
+  let net = Hw.Interconnect.create () in
+  let eq0 = Hw.Event_queue.create () and eq1 = Hw.Event_queue.create () in
+  let got = ref None in
+  ignore
+    (Hw.Interconnect.attach net ~node_id:0 ~deliver:(fun _ -> ()) ~now:(fun () -> 0)
+       ~at:(fun ~time f -> Hw.Event_queue.schedule eq0 ~time f));
+  ignore
+    (Hw.Interconnect.attach net ~node_id:1
+       ~deliver:(fun pkt -> got := Some pkt)
+       ~now:(fun () -> 0)
+       ~at:(fun ~time f -> Hw.Event_queue.schedule eq1 ~time f));
+  Hw.Interconnect.send net ~src:0 ~dst:1 (Bytes.of_string "hi");
+  Alcotest.(check bool) "not delivered before latency" true (!got = None);
+  ignore (Hw.Event_queue.run_next eq1);
+  (match !got with
+  | Some pkt ->
+    Alcotest.(check int) "src" 0 pkt.Hw.Interconnect.src;
+    Alcotest.(check string) "payload" "hi" (Bytes.to_string pkt.Hw.Interconnect.data)
+  | None -> Alcotest.fail "no delivery");
+  (* failed node drops traffic *)
+  Hw.Interconnect.fail_node net 1;
+  Hw.Interconnect.send net ~src:0 ~dst:1 (Bytes.of_string "lost");
+  Alcotest.(check int) "dropped counted" 1 (Hw.Interconnect.dropped net)
+
+let () =
+  Alcotest.run "hw"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_addr;
+          qcheck prop_addr_roundtrip;
+        ] );
+      ("cost", [ Alcotest.test_case "conversions" `Quick test_cost ]);
+      ( "phys_mem",
+        [
+          Alcotest.test_case "words, bytes, pages" `Quick test_phys_mem;
+          qcheck prop_phys_mem_roundtrip;
+        ] );
+      ( "page_table",
+        [
+          Alcotest.test_case "insert/lookup/remove/space" `Quick test_page_table;
+          qcheck prop_page_table;
+        ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "lookup/evict/flush" `Quick test_tlb;
+          Alcotest.test_case "reverse tlb" `Quick test_rtlb;
+        ] );
+      ("cache_sim", [ Alcotest.test_case "hits and conflicts" `Quick test_cache_sim ]);
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_event_queue;
+          qcheck prop_event_queue;
+        ] );
+      ("mmu", [ Alcotest.test_case "translate and fault taxonomy" `Quick test_mmu ]);
+      ("exec", [ Alcotest.test_case "effects and continuations" `Quick test_exec ]);
+      ("disk", [ Alcotest.test_case "latency and contents" `Quick test_disk ]);
+      ("interconnect", [ Alcotest.test_case "delivery and failure" `Quick test_interconnect ]);
+    ]

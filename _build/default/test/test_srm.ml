@@ -1,0 +1,195 @@
+(* System resource manager tests: the ledger, kernel launching with
+   resource grants, kernel swap-out/in, I/O policing and distributed
+   coordination with fault containment. *)
+
+open Cachekernel
+open Aklib
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "api error: %a" Api.pp_error e
+
+let make ?(cpus = 2) () =
+  let inst =
+    Instance.create (Hw.Mpm.create ~node_id:0 ~cpus ~mem_size:(32 * 1024 * 1024) ())
+  in
+  let srm = ok (Srm.Manager.boot inst ()) in
+  (inst, srm)
+
+(* -- Ledger -- *)
+
+let test_ledger () =
+  let l = Srm.Ledger.create ~groups:[ 0; 1; 2; 3 ] ~n_cpus:2 in
+  let g1 =
+    match Srm.Ledger.allocate l ~kernel_name:"a" ~group_count:3 ~cpu_percent:60 ~net_percent:50 with
+    | Ok g -> g
+    | Error _ -> Alcotest.fail "first allocation"
+  in
+  Alcotest.(check int) "groups granted" 3 (List.length g1.Srm.Ledger.groups);
+  Alcotest.(check int) "one group left" 1 (Srm.Ledger.free_group_count l);
+  (match Srm.Ledger.allocate l ~kernel_name:"b" ~group_count:2 ~cpu_percent:10 ~net_percent:0 with
+  | Error `No_memory -> ()
+  | _ -> Alcotest.fail "expected memory exhaustion");
+  (match Srm.Ledger.allocate l ~kernel_name:"b" ~group_count:1 ~cpu_percent:50 ~net_percent:0 with
+  | Error `No_cpu -> ()
+  | _ -> Alcotest.fail "expected cpu exhaustion");
+  Srm.Ledger.release l g1;
+  Alcotest.(check int) "groups returned" 4 (Srm.Ledger.free_group_count l);
+  match Srm.Ledger.allocate l ~kernel_name:"b" ~group_count:4 ~cpu_percent:90 ~net_percent:90 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "release freed capacity"
+
+(* -- Launch: grants actually bound the launched kernel -- *)
+
+let test_launch_grants () =
+  let inst, srm = make () in
+  let ak, spec = App_kernel.prepare inst ~name:"guest" () in
+  let launched =
+    ok (Srm.Manager.launch srm (ak, spec) ~group_count:2 ~cpu_percent:40 ())
+  in
+  Alcotest.(check int) "two page groups granted" (2 * Hw.Addr.pages_per_group)
+    (Frame_alloc.total ak.App_kernel.frames);
+  (* the guest can map granted frames but nothing else *)
+  let vsp = ok (Segment_mgr.create_space ak.App_kernel.mgr) in
+  let granted_pfn = List.hd (Frame_alloc.take ak.App_kernel.frames 1) in
+  ok
+    (Api.load_mapping inst ~caller:(App_kernel.oid ak) ~space:vsp.Segment_mgr.oid
+       (Api.mapping ~va:0x40000000 ~pfn:granted_pfn ()));
+  (match
+     Api.load_mapping inst ~caller:(App_kernel.oid ak) ~space:vsp.Segment_mgr.oid
+       (Api.mapping ~va:0x40001000 ~pfn:(Hw.Mpm.pages inst.Instance.node - 1) ())
+   with
+  | Error Api.No_access -> ()
+  | _ -> Alcotest.fail "ungranted frame must be refused");
+  Alcotest.(check bool) "kernel recorded" true
+    (List.exists (fun l -> l.Srm.Manager.name = "guest") (Srm.Manager.kernels srm));
+  ignore launched
+
+(* -- Swap a kernel out and back in -- *)
+
+let test_kernel_swap () =
+  let inst, srm = make () in
+  let ak, spec = App_kernel.prepare inst ~name:"swappee" () in
+  let launched = ok (Srm.Manager.launch srm (ak, spec) ~group_count:2 ~cpu_percent:40 ()) in
+  (* give it a running thread with observable progress *)
+  let progress = ref 0 in
+  let body () =
+    for _ = 1 to 50 do
+      Hw.Exec.compute 2000;
+      incr progress;
+      ignore (Hw.Exec.trap Api.Ck_yield)
+    done
+  in
+  ignore (ok (App_kernel.spawn_internal ak ~priority:8 (Hw.Exec.unit_body body)));
+  ignore (Engine.run ~until_us:5_000.0 [| inst |]);
+  let before = !progress in
+  Alcotest.(check bool) "made progress" true (before > 0);
+  ok (Srm.Manager.swap_out_kernel srm launched);
+  Alcotest.(check bool) "kernel object gone" true
+    (Instance.find_kernel inst (App_kernel.oid ak) = None);
+  (* while swapped out, no progress *)
+  ignore (Engine.run ~until_us:10_000.0 [| inst |]);
+  Alcotest.(check int) "frozen while swapped" before !progress;
+  ok (Srm.Manager.swap_in_kernel srm launched);
+  ignore (Engine.run [| inst |]);
+  Alcotest.(check int) "thread resumed from saved state and finished" 50 !progress
+
+(* -- I/O policing -- *)
+
+let test_io_policing () =
+  let _, srm = make () in
+  let count = ref 0 in
+  let connected = ref true in
+  let _tap =
+    Srm.Manager.register_tap srm ~name:"hog" ~quota_per_epoch:10
+      ~counter:(fun () -> !count)
+      ~disconnect:(fun () -> connected := false)
+      ~reconnect:(fun () -> connected := true)
+  in
+  count := 5;
+  Srm.Manager.police_io srm;
+  Alcotest.(check bool) "under quota: stays connected" true !connected;
+  count := 50;
+  Srm.Manager.police_io srm;
+  Alcotest.(check bool) "over quota: disconnected" false !connected;
+  count := 52;
+  Srm.Manager.police_io srm;
+  Alcotest.(check bool) "calmed down: reconnected" true !connected
+
+(* -- Distributed coordination -- *)
+
+let test_distrib_cosched_and_containment () =
+  let net = Hw.Interconnect.create () in
+  let make_node id =
+    let inst =
+      Instance.create (Hw.Mpm.create ~node_id:id ~cpus:2 ~mem_size:(32 * 1024 * 1024) ())
+    in
+    let srm = ok (Srm.Manager.boot inst ()) in
+    let d = Srm.Distrib.start srm ~net in
+    let body () =
+      for _ = 1 to 100_000 do
+        Hw.Exec.compute 2000;
+        ignore (Hw.Exec.trap Api.Ck_yield)
+      done
+    in
+    let tid =
+      ok (App_kernel.spawn_internal srm.Srm.Manager.ak ~priority:4 (Hw.Exec.unit_body body))
+    in
+    let oid = Option.get (Thread_lib.oid_of srm.Srm.Manager.ak.App_kernel.threads tid) in
+    Srm.Distrib.register_gang d ~gang:7 [ oid ];
+    (inst, srm, d, oid)
+  in
+  let nodes = List.map make_node [ 0; 1; 2 ] in
+  List.iter
+    (fun (_, _, d, _) ->
+      List.iter (fun (i, _, _, _) -> Srm.Distrib.add_peer d (Instance.node_id i)) nodes)
+    nodes;
+  let insts = Array.of_list (List.map (fun (i, _, _, _) -> i) nodes) in
+  (* load reports propagate *)
+  let _, _, d0, _ = List.hd nodes in
+  List.iter (fun (_, _, d, _) -> Srm.Distrib.report_load d) nodes;
+  ignore (Engine.run ~until_us:2_000.0 insts);
+  Alcotest.(check int) "three load reports at node 0" 3
+    (List.length (Srm.Distrib.load_reports d0));
+  (* co-scheduling raises every node's gang member *)
+  Srm.Distrib.coschedule d0 ~gang:7 ~priority:20;
+  ignore (Engine.run ~until_us:4_000.0 insts);
+  List.iter
+    (fun (inst, _, _, oid) ->
+      match Instance.find_thread inst oid with
+      | Some th -> Alcotest.(check int) "gang member raised" 20 th.Thread_obj.priority
+      | None -> () (* finished already: fine *))
+    nodes;
+  (* the raise times are close together across nodes (one fiber hop) *)
+  let times =
+    List.concat_map (fun (_, _, d, _) -> List.map snd (Srm.Distrib.cosched_applied d)) nodes
+  in
+  let tmin = List.fold_left min (List.hd times) times in
+  let tmax = List.fold_left max (List.hd times) times in
+  Alcotest.(check bool) "co-schedule skew < 500us" true (tmax -. tmin < 500.0);
+  (* fault containment: halting node 1 leaves others progressing *)
+  let i1, _, _, _ = List.nth nodes 1 in
+  i1.Instance.halted <- true;
+  Hw.Interconnect.fail_node net 1;
+  let i0, _, _, _ = List.hd nodes in
+  let t_before = Hw.Mpm.now i0.Instance.node in
+  ignore (Engine.run ~until_us:12_000.0 insts);
+  Alcotest.(check bool) "node 0 progressed after node 1 failure" true
+    (Hw.Mpm.now i0.Instance.node > t_before)
+
+let () =
+  Alcotest.run "srm"
+    [
+      ("ledger", [ Alcotest.test_case "allocate and release" `Quick test_ledger ]);
+      ( "launch",
+        [
+          Alcotest.test_case "grants bound the guest" `Quick test_launch_grants;
+          Alcotest.test_case "kernel swap out and in" `Quick test_kernel_swap;
+        ] );
+      ("policing", [ Alcotest.test_case "rate disconnect/reconnect" `Quick test_io_policing ]);
+      ( "distrib",
+        [
+          Alcotest.test_case "co-scheduling and containment" `Quick
+            test_distrib_cosched_and_containment;
+        ] );
+    ]
