@@ -310,6 +310,55 @@ let ablations () =
   Printf.printf "  measured fault total with the combined call: %.1f us\n"
     f.Workload.Micro.total_us
 
+(* -- O1: observability export, the diffable perf trajectory -- *)
+
+(* One representative mixed workload (demand paging + thread churn +
+   signals), exported as BENCH_metrics.json: fault-latency percentiles,
+   dispatch latency, per-kind cache counters and writeback latencies.
+   Committing nothing, diffing everything: each PR's bench run can be
+   compared number-for-number against the previous one. *)
+let metrics_export () =
+  section "O1. Observability export (BENCH_metrics.json)";
+  let inst = Workload.Setup.instance ~cpus:2 () in
+  Trace.enable inst.Instance.trace;
+  let groups = List.init (Instance.n_groups inst) Fun.id in
+  let emu = Workload.Setup.ok (Unix_emu.Emulator.boot inst ~groups) in
+  let child =
+    Unix_emu.Syscall.program "job" (fun () ->
+        let pid = Unix_emu.Syscall.getpid () in
+        for i = 0 to 15 do
+          Hw.Exec.mem_write (Unix_emu.Process.data_base + (i * Hw.Addr.page_size)) (pid + i)
+        done;
+        Hw.Exec.compute 50_000;
+        0)
+  in
+  let init =
+    Unix_emu.Syscall.program "init" (fun () ->
+        let pids = List.init 8 (fun _ -> Unix_emu.Syscall.spawn child) in
+        List.iter (fun _ -> ignore (Unix_emu.Syscall.wait ())) pids;
+        0)
+  in
+  ignore (Workload.Setup.ok (Unix_emu.Emulator.start_init emu init));
+  ignore (Engine.run [| inst |]);
+  let m = inst.Instance.metrics in
+  Json.to_file "BENCH_metrics.json" (Instance.metrics_json inst);
+  Printf.printf "  wrote BENCH_metrics.json (%d processes, %d syscalls)\n"
+    emu.Unix_emu.Emulator.spawned emu.Unix_emu.Emulator.syscalls;
+  Printf.printf "  fault.handle_us  p50 %6.1f  p90 %6.1f  p99 %6.1f  (n=%d)\n"
+    (Metrics.percentile m "fault.handle_us" 0.5)
+    (Metrics.percentile m "fault.handle_us" 0.9)
+    (Metrics.percentile m "fault.handle_us" 0.99)
+    (Metrics.observations m "fault.handle_us");
+  Printf.printf "  sched.dispatch_us p50 %6.1f  p90 %6.1f  p99 %6.1f  (n=%d)\n"
+    (Metrics.percentile m "sched.dispatch_us" 0.5)
+    (Metrics.percentile m "sched.dispatch_us" 0.9)
+    (Metrics.percentile m "sched.dispatch_us" 0.99)
+    (Metrics.observations m "sched.dispatch_us");
+  Printf.printf "  trace: %d entries held (capacity %d), %d dropped\n"
+    (Trace.length inst.Instance.trace)
+    (Trace.capacity inst.Instance.trace)
+    (Trace.dropped inst.Instance.trace)
+
 (* -- Bechamel: host wall-clock of the same operations -- *)
 
 let bechamel_suite () =
@@ -385,5 +434,6 @@ let () =
   ipc_sweep ();
   multinode ();
   ablations ();
+  metrics_export ();
   bechamel_suite ();
   Printf.printf "\nDone.\n"

@@ -3,6 +3,8 @@
    Subcommands:
      info   — print the configuration (Table 1) and the cost model
      run    — boot a UNIX emulator, run a small process tree, print stats
+              (the default command; --metrics-out/--trace-out export the
+              observability layer's JSON)
      trace  — run one demand-paged program with the event trace enabled
      micro  — print the Table 2 micro-benchmark rows *)
 
@@ -28,8 +30,25 @@ let show_info () =
     Hw.Cost.exception_return Hw.Cost.context_switch
     (Hw.Cost.disk_seek + Hw.Cost.disk_page_transfer)
 
-let run_workload cpus procs =
+let write_json path what v =
+  try
+    Json.to_file path v;
+    Fmt.pr "wrote %s to %s@." what path
+  with Sys_error msg ->
+    Fmt.epr "ckos: cannot write %s: %s@." what msg;
+    Stdlib.exit 1
+
+let export_observability inst ~metrics_out ~trace_out =
+  Option.iter
+    (fun path -> write_json path "metrics" (Instance.metrics_json inst))
+    metrics_out;
+  Option.iter
+    (fun path -> write_json path "trace" (Trace.to_json inst.Instance.trace))
+    trace_out
+
+let run_workload cpus procs metrics_out trace_out =
   let inst = Workload.Setup.instance ~cpus () in
+  if trace_out <> None then Trace.enable inst.Instance.trace;
   let groups = List.init (Instance.n_groups inst) Fun.id in
   let emu = Workload.Setup.ok (Unix_emu.Emulator.boot inst ~groups) in
   let child =
@@ -54,10 +73,12 @@ let run_workload cpus procs =
     (Hw.Cost.us_of_cycles (Hw.Mpm.now inst.Instance.node) /. 1000.)
     emu.Unix_emu.Emulator.syscalls;
   Fmt.pr "%a" Stats.pp inst.Instance.stats;
+  Fmt.pr "metrics:@.%a" Metrics.pp inst.Instance.metrics;
   Fmt.pr "space accounting:@.  @[<v>%a@]@." Space_accounting.pp
-    (Space_accounting.measure inst)
+    (Space_accounting.measure inst);
+  export_observability inst ~metrics_out ~trace_out
 
-let show_trace () =
+let show_trace metrics_out trace_out =
   let inst = Workload.Setup.instance ~cpus:1 () in
   Trace.enable inst.Instance.trace;
   let ak = Workload.Setup.first_kernel inst in
@@ -75,7 +96,8 @@ let show_trace () =
                  Hw.Exec.mem_write (0x40000000 + (i * Hw.Addr.page_size)) i
                done))));
   ignore (Engine.run [| inst |]);
-  Fmt.pr "%a" Trace.pp inst.Instance.trace
+  Fmt.pr "%a" Trace.pp inst.Instance.trace;
+  export_observability inst ~metrics_out ~trace_out
 
 let show_micro () =
   List.iter
@@ -86,14 +108,29 @@ let show_micro () =
 
 let info_cmd = Cmd.v (Cmd.info "info" ~doc:"Configuration and cost model") Term.(const show_info $ const ())
 
-let run_cmd =
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write counters and histograms as JSON.")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Enable tracing and write the bounded event trace as JSON.")
+
+let run_term =
   let cpus = Arg.(value & opt int 4 & info [ "cpus" ] ~doc:"CPUs per MPM.") in
   let procs = Arg.(value & opt int 4 & info [ "procs" ] ~doc:"Processes to run.") in
-  Cmd.v (Cmd.info "run" ~doc:"Run a UNIX workload and print statistics")
-    Term.(const run_workload $ cpus $ procs)
+  Term.(const run_workload $ cpus $ procs $ metrics_out $ trace_out)
+
+let run_cmd = Cmd.v (Cmd.info "run" ~doc:"Run a UNIX workload and print statistics") run_term
 
 let trace_cmd =
-  Cmd.v (Cmd.info "trace" ~doc:"Trace the Figure 2 fault protocol") Term.(const show_trace $ const ())
+  Cmd.v (Cmd.info "trace" ~doc:"Trace the Figure 2 fault protocol")
+    Term.(const show_trace $ metrics_out $ trace_out)
 
 let micro_cmd =
   Cmd.v (Cmd.info "micro" ~doc:"Table 2 micro-benchmarks") Term.(const show_micro $ const ())
@@ -102,5 +139,6 @@ let () =
   Stdlib.exit
     (Cmd.eval
        (Cmd.group
+          ~default:run_term (* `ckos --metrics-out m.json` runs the workload *)
           (Cmd.info "ckos" ~doc:"Cache Kernel (OSDI '94) reproduction inspector")
           [ info_cmd; run_cmd; trace_cmd; micro_cmd ]))

@@ -30,6 +30,7 @@ module Make (D : DESC) = struct
     mutable free : int list;
     mutable hand : int; (* clock hand for victim scans *)
     mutable live : int;
+    mutable last_scan : int; (* slots examined by the most recent victim scan *)
   }
 
   let create ~capacity =
@@ -40,6 +41,7 @@ module Make (D : DESC) = struct
       free = List.init capacity Fun.id;
       hand = 0;
       live = 0;
+      last_scan = 0;
     }
 
   let capacity t = Array.length t.slots
@@ -102,7 +104,12 @@ module Make (D : DESC) = struct
       t.hand <- (t.hand + 1) mod n;
       incr i
     done;
+    t.last_scan <- !i;
     (match (!result, !fallback) with Some d, _ -> Some d | None, f -> f)
+
+  (** Slots examined by the most recent {!victim} call — the replacement
+      effort metric ({!Metrics} victim_scan histograms). *)
+  let last_scan_length t = t.last_scan
 
   let iter t f = Array.iter (function None -> () | Some d -> f d) t.slots
 

@@ -31,6 +31,10 @@ type t = {
   (* limits *)
   max_fault_depth : int; (* nested fault forwarding before the thread is killed *)
   max_locked_default : int; (* default locked-object quota per kernel *)
+  (* observability *)
+  trace_capacity : int;
+      (* ring-buffer capacity of the event trace; a tracing-enabled run
+         holds at most this many entries, dropping the oldest beyond it *)
   (* ablations *)
   rtlb_enabled : bool;
       (* use the per-processor reverse TLB for signal delivery; disabling
@@ -54,6 +58,7 @@ let default =
     signal_queue_depth = 64;
     max_fault_depth = 4;
     max_locked_default = 8;
+    trace_capacity = 65536;
     rtlb_enabled = true;
   }
 

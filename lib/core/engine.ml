@@ -54,12 +54,14 @@ let thread_exited t (th : Thread_obj.t) =
 (* Push an application-kernel handler frame onto the thread and start it.
    The handler body runs with the instance's active CPU set, so direct API
    calls it makes are charged to the right processor. *)
-let push_handler t (th : Thread_obj.t) ~(kernel : Kernel_obj.t) body =
+let push_handler t (th : Thread_obj.t) ~(kernel : Kernel_obj.t) ~origin ~pushed_at body =
   th.Thread_obj.fault_depth <- th.Thread_obj.fault_depth + 1;
   let frame =
     Thread_obj.frame ~mode:Thread_obj.Kernel_mode ~kernel:kernel.Kernel_obj.oid
       (Hw.Exec.Done Hw.Exec.Unit_payload)
   in
+  frame.Thread_obj.origin <- origin;
+  frame.Thread_obj.pushed_at <- pushed_at;
   Thread_obj.push_frame th frame;
   trace t (Trace.Handler_running { thread = th.Thread_obj.oid });
   frame.Thread_obj.status <- Hw.Exec.start body
@@ -71,6 +73,8 @@ let push_handler t (th : Thread_obj.t) ~(kernel : Kernel_obj.t) body =
 let max_fault_repeat = 64
 
 let handle_fault t (th : Thread_obj.t) (frame : Thread_obj.frame) (fault : Hw.Mmu.fault) =
+  (* Figure 2 step 1: the end-to-end fault latency histogram starts here. *)
+  let fault_t0 = now t in
   trace t
     (Trace.Fault_trap
        {
@@ -109,7 +113,8 @@ let handle_fault t (th : Thread_obj.t) (frame : Thread_obj.frame) (fault : Hw.Mm
       | _ -> false)
     | _ -> false
   in
-  if not cow_resolved then begin
+  if cow_resolved then observe_cycles t "fault.cow_us" (now t - fault_t0)
+  else begin
     if th.Thread_obj.fault_repeat > max_fault_repeat then
       kill_thread t th
         (Fmt.str "no progress after %d repeated faults: %a" th.Thread_obj.fault_repeat
@@ -138,6 +143,7 @@ let handle_fault t (th : Thread_obj.t) (frame : Thread_obj.frame) (fault : Hw.Mm
       | Some kernel ->
         charge t Hw.Cost.exception_forward;
         t.stats.Stats.faults_forwarded <- t.stats.Stats.faults_forwarded + 1;
+        count t "fault.forwarded";
         trace t
           (Trace.Forward_to_kernel
              { thread = th.Thread_obj.oid; kernel = kernel.Kernel_obj.oid });
@@ -149,7 +155,8 @@ let handle_fault t (th : Thread_obj.t) (frame : Thread_obj.frame) (fault : Hw.Mm
             kind = fault.Hw.Mmu.kind;
           }
         in
-        push_handler t th ~kernel (fun () ->
+        push_handler t th ~kernel ~origin:Thread_obj.From_fault ~pushed_at:fault_t0
+          (fun () ->
             kernel.Kernel_obj.handlers.Kernel_obj.on_fault ctx;
             Hw.Exec.Unit_payload)
     end
@@ -190,6 +197,7 @@ let do_trap t (th : Thread_obj.t) (frame : Thread_obj.frame) p k =
     charge t Hw.Cost.trap_exit;
     frame.Thread_obj.status <- Effect.Deep.continue k v
   | None -> (
+    let trap_t0 = now t in
     charge t Hw.Cost.trap_entry;
     match p with
     | Api.Ck_yield ->
@@ -220,11 +228,12 @@ let do_trap t (th : Thread_obj.t) (frame : Thread_obj.frame) p k =
       | Some kernel ->
         charge t Hw.Cost.trap_forward;
         t.stats.Stats.traps_forwarded <- t.stats.Stats.traps_forwarded + 1;
+        count t "trap.forwarded";
         trace t
           (Trace.Trap_forwarded
              { thread = th.Thread_obj.oid; kernel = kernel.Kernel_obj.oid });
-        push_handler t th ~kernel (fun () ->
-            kernel.Kernel_obj.handlers.Kernel_obj.on_trap th.Thread_obj.oid p)))
+        push_handler t th ~kernel ~origin:Thread_obj.From_trap ~pushed_at:trap_t0
+          (fun () -> kernel.Kernel_obj.handlers.Kernel_obj.on_trap th.Thread_obj.oid p)))
 
 (* Completion of the top frame.  A handler frame's result value feeds the
    trap continuation below it; a faulted access below simply retries. *)
@@ -242,7 +251,15 @@ let frame_completed t (th : Thread_obj.t) (frame : Thread_obj.frame) outcome =
         (if frame.Thread_obj.combined_resume then Config.c_combined_resume
          else Hw.Cost.exception_return);
       trace t (Trace.Exception_complete { thread = th.Thread_obj.oid });
-      trace t (Trace.Thread_resumed { thread = th.Thread_obj.oid })
+      trace t (Trace.Thread_resumed { thread = th.Thread_obj.oid });
+      (* End-to-end handler latency, from the trap/fault that pushed the
+         frame (Figure 2 steps 1-6) to this exception return. *)
+      (match frame.Thread_obj.origin with
+      | Thread_obj.From_fault ->
+        observe_cycles t "fault.handle_us" (now t - frame.Thread_obj.pushed_at)
+      | Thread_obj.From_trap ->
+        observe_cycles t "trap.forward_us" (now t - frame.Thread_obj.pushed_at)
+      | Thread_obj.Internal -> ())
     end;
     match th.Thread_obj.frames with
     | [] -> thread_exited t th
@@ -356,6 +373,10 @@ let dispatch t ~cpu_id (oid, (th : Thread_obj.t)) =
   th.Thread_obj.slice_left <- t.config.Config.time_slice;
   t.running.(cpu_id) <- Some oid;
   cpu.Hw.Cpu.switches <- cpu.Hw.Cpu.switches + 1;
+  count t "sched.dispatches";
+  (* Dispatch-to-run latency: ready-queue wait plus the switch just charged. *)
+  observe_cycles t "sched.dispatch_us"
+    (cpu.Hw.Cpu.local_time - th.Thread_obj.ready_since);
   trace t (Trace.Thread_dispatched { thread = oid; cpu = cpu_id })
 
 (** Run one scheduling decision or thread step on [cpu_id]. *)
@@ -380,6 +401,7 @@ let step_cpu t ~cpu_id =
     if preempt then begin
       Hw.Cpu.charge cpu Hw.Cost.context_switch;
       t.stats.Stats.preemptions <- t.stats.Stats.preemptions + 1;
+      count t "sched.preemptions";
       trace t (Trace.Thread_preempted { thread = th.Thread_obj.oid; cpu = cpu_id });
       make_ready t th;
       t.running.(cpu_id) <- None;

@@ -14,6 +14,7 @@ type t = {
   sched : Scheduler.t;
   trace : Trace.t;
   stats : Stats.t;
+  metrics : Metrics.t;
   mutable first_kernel : Oid.t; (* the system resource manager's kernel *)
   running : Oid.t option array; (* per-CPU current thread *)
   mutable active_cpu : int; (* CPU whose thread is executing right now *)
@@ -36,8 +37,9 @@ let create ?(config = Config.default) node =
     threads = Caches.Thread_cache.create ~capacity:config.Config.thread_cache;
     mappings = Mappings.create ~capacity:config.Config.mapping_cache;
     sched = Scheduler.create ~priorities:config.Config.priorities;
-    trace = Trace.create ();
+    trace = Trace.create ~capacity:config.Config.trace_capacity ();
     stats = Stats.create ();
+    metrics = Metrics.create ();
     first_kernel = Oid.none;
     running = Array.make (Hw.Mpm.n_cpus node) None;
     active_cpu = 0;
@@ -61,6 +63,25 @@ let charge t c = Hw.Cpu.charge (cpu t) c
 let now t = (cpu t).Hw.Cpu.local_time
 
 let trace t event = Trace.record t.trace ~time:(now t) event
+
+(* Observability recording: counts and observes but never charges cycles,
+   so instrumentation cannot perturb the cost model (DESIGN.md section 7). *)
+let count t name = Metrics.incr t.metrics name
+let observe t name v = Metrics.observe t.metrics name v
+let observe_cycles t name c = Metrics.observe_cycles t.metrics name c
+
+(** Combined machine-readable snapshot: per-kind cache counters ({!Stats})
+    plus the hot-path counters and latency histograms ({!Metrics}). *)
+let metrics_json t =
+  let open Json in
+  match (Stats.to_json t.stats, Metrics.to_json t.metrics) with
+  | Obj stats_fields, Obj metric_fields ->
+    Obj
+      (( "node", Int t.node.Hw.Mpm.node_id )
+      :: ("now_us", Float (Hw.Cost.us_of_cycles (Hw.Mpm.now t.node)))
+      :: ("stats", Obj stats_fields)
+      :: metric_fields)
+  | s, m -> Obj [ ("stats", s); ("metrics", m) ]
 
 let find_kernel t oid = Caches.Kernel_cache.find t.kernels oid
 let find_space t oid = Caches.Space_cache.find t.spaces oid

@@ -1,0 +1,280 @@
+(* Minimal JSON values for the observability exports.
+
+   The toolchain has no JSON package, so this module provides the small
+   subset the exports need: construction, serialisation, and a parser used
+   by tests to check that {!Metrics.to_json} and {!Trace.to_json} emit
+   well-formed documents that round-trip.  Serialisation is deterministic
+   (object fields keep insertion order) so exported files diff cleanly
+   across runs and PRs. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* -- serialisation -- *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* Floats print with enough digits to round-trip, and always with a '.' or
+   exponent so the parser reads them back as [Float], not [Int]. *)
+let float_repr f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.17g" f in
+    if float_of_string (Printf.sprintf "%.12g" f) = f then Printf.sprintf "%.12g" f else s
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_repr f)
+  | String s -> escape_string b s
+  | List l ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char b ',';
+        write b v)
+      l;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        escape_string b k;
+        Buffer.add_char b ':';
+        write b v)
+      fields;
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 1024 in
+  write b v;
+  Buffer.contents b
+
+(* Indented form for files meant to be read (and diffed) by humans. *)
+let rec write_pretty b indent = function
+  | List ([] as l) | List ([ _ ] as l) ->
+    (* short lists stay on one line *)
+    write b (List l)
+  | List l ->
+    let pad = String.make indent ' ' in
+    Buffer.add_string b "[\n";
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b pad;
+        Buffer.add_string b "  ";
+        write_pretty b (indent + 2) v)
+      l;
+    Buffer.add_char b '\n';
+    Buffer.add_string b pad;
+    Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj fields ->
+    let pad = String.make indent ' ' in
+    Buffer.add_string b "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b pad;
+        Buffer.add_string b "  ";
+        escape_string b k;
+        Buffer.add_string b ": ";
+        write_pretty b (indent + 2) v)
+      fields;
+    Buffer.add_char b '\n';
+    Buffer.add_string b pad;
+    Buffer.add_char b '}'
+  | v -> write b v
+
+let to_string_pretty v =
+  let b = Buffer.create 4096 in
+  write_pretty b 0 v;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let to_file path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string_pretty v))
+
+(* -- parsing (test support) -- *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string"
+      else
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents b
+        | '\\' -> (
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          match e with
+          | '"' | '\\' | '/' ->
+            Buffer.add_char b e;
+            loop ()
+          | 'n' ->
+            Buffer.add_char b '\n';
+            loop ()
+          | 'r' ->
+            Buffer.add_char b '\r';
+            loop ()
+          | 't' ->
+            Buffer.add_char b '\t';
+            loop ()
+          | 'u' ->
+            if !pos + 4 > n then fail "bad \\u escape";
+            let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+            pos := !pos + 4;
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else Buffer.add_string b (Printf.sprintf "\\u%04x" code);
+            loop ()
+          | _ -> fail "bad escape")
+        | c ->
+          Buffer.add_char b c;
+          loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
+      Float (float_of_string tok)
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> Float (float_of_string tok)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        items []
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        fields []
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* -- accessors (test support) -- *)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let rec path keys v =
+  match keys with
+  | [] -> Some v
+  | k :: rest -> ( match member k v with Some v' -> path rest v' | None -> None)

@@ -37,6 +37,7 @@ type t = {
   by_pfn : (int, int list ref) Hashtbl.t; (* physical page -> slots *)
   by_thread : (Oid.t, int list ref) Hashtbl.t; (* signal thread -> slots *)
   mutable dependency_records : int; (* 16-byte descriptors in use *)
+  mutable last_scan : int; (* slots examined by the most recent victim scan *)
   mutable version : int;
       (* bumped on every structural change: the analogue of the version
          counters the lock-free implementation uses to detect concurrent
@@ -54,6 +55,7 @@ let create ~capacity =
     by_pfn = Hashtbl.create 1024;
     by_thread = Hashtbl.create 64;
     dependency_records = 0;
+    last_scan = 0;
     version = 0;
   }
 
@@ -179,7 +181,11 @@ let victim t ~protected =
     t.hand <- (t.hand + 1) mod n;
     incr i
   done;
+  t.last_scan <- !i;
   !result
+
+(** Slots examined by the most recent {!victim} call. *)
+let last_scan_length t = t.last_scan
 
 let iter t f = Array.iter (function None -> () | Some m -> f m) t.slots
 

@@ -1,0 +1,200 @@
+(* Named monotonic counters and log-scaled latency histograms.
+
+   The observability companion to {!Stats}: where Stats is the fixed record
+   of protocol counters the paper's tables need, Metrics is an open-ended
+   registry the hot paths feed — fault-handling latency end-to-end
+   (Figure 2), trap forwarding, dispatch-to-run latency, signal delivery
+   path taken, victim-scan lengths and writeback latencies per object kind.
+
+   Cost-model neutrality: recording NEVER calls {!Instance.charge}.  The
+   instrumentation observes simulated time, it must not advance it, so that
+   enabling metrics cannot perturb any benchmark number.
+
+   Histograms are log-scaled: bucket [i] spans [min_value * base^i,
+   min_value * base^(i+1)).  With base = 2^(1/4) (four buckets per octave)
+   and 96 buckets the range covers 0.1 us to ~1.6 s of simulated time at
+   better than 19% relative error, in 96 ints per histogram.  Percentiles
+   are read from the cumulative bucket counts, so p50 <= p90 <= p99 by
+   construction. *)
+
+type hist = {
+  buckets : int array;
+  mutable h_count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  histograms : (string, hist) Hashtbl.t;
+  mutable names_in_order : string list; (* registration order, for stable export *)
+}
+
+let n_buckets = 96
+let min_value = 0.1 (* smallest resolvable observation (us, length, ...) *)
+let bucket_base = Float.pow 2.0 0.25 (* four buckets per octave *)
+let log_base = Float.log bucket_base
+
+let create () =
+  { counters = Hashtbl.create 32; histograms = Hashtbl.create 32; names_in_order = [] }
+
+let register t name =
+  if not (List.mem name t.names_in_order) then
+    t.names_in_order <- name :: t.names_in_order
+
+(* -- counters -- *)
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None ->
+    Hashtbl.replace t.counters name (ref by);
+    register t name
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+(* -- histograms -- *)
+
+let bucket_of v =
+  if v <= min_value then 0
+  else
+    let i = int_of_float (Float.log (v /. min_value) /. log_base) in
+    if i >= n_buckets then n_buckets - 1 else i
+
+(** Lower bound of bucket [i]. *)
+let bucket_floor i = if i = 0 then 0.0 else min_value *. Float.pow bucket_base (float_of_int i)
+
+(** Representative value for bucket [i]: its geometric midpoint. *)
+let bucket_mid i = min_value *. Float.pow bucket_base (float_of_int i +. 0.5)
+
+let hist t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        buckets = Array.make n_buckets 0;
+        h_count = 0;
+        sum = 0.0;
+        vmin = Float.infinity;
+        vmax = Float.neg_infinity;
+      }
+    in
+    Hashtbl.replace t.histograms name h;
+    register t name;
+    h
+
+(** Record one observation (a simulated-us latency, a scan length, ...). *)
+let observe t name v =
+  if not (Float.is_nan v) then begin
+    let h = hist t name in
+    let v = Float.max v 0.0 in
+    h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+    h.h_count <- h.h_count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.vmin then h.vmin <- v;
+    if v > h.vmax then h.vmax <- v
+  end
+
+(** Record a latency measured in simulated cycles, converted to us. *)
+let observe_cycles t name (c : Hw.Cost.cycles) =
+  observe t name (Hw.Cost.us_of_cycles (max 0 c))
+
+let observations t name =
+  match Hashtbl.find_opt t.histograms name with Some h -> h.h_count | None -> 0
+
+(** Percentile [q] in [0,1] of histogram [name]; 0 when empty.  Exact
+    min/max at the extremes, geometric bucket midpoint elsewhere, clamped
+    to the observed range so a one-sample histogram reports that sample. *)
+let percentile t name q =
+  match Hashtbl.find_opt t.histograms name with
+  | None -> 0.0
+  | Some h when h.h_count = 0 -> 0.0
+  | Some h ->
+    if q <= 0.0 then h.vmin
+    else if q >= 1.0 then h.vmax
+    else begin
+      let rank = q *. float_of_int h.h_count in
+      let acc = ref 0 in
+      let found = ref h.vmax in
+      (try
+         for i = 0 to n_buckets - 1 do
+           acc := !acc + h.buckets.(i);
+           if float_of_int !acc >= rank then begin
+             found := bucket_mid i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      Float.min h.vmax (Float.max h.vmin !found)
+    end
+
+let mean t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h when h.h_count > 0 -> h.sum /. float_of_int h.h_count
+  | _ -> 0.0
+
+(* -- export -- *)
+
+let exported_names t =
+  (* registration order; tests and diffs rely on stability *)
+  List.rev t.names_in_order
+
+let hist_json t name h =
+  (* buckets exported sparsely: [index, count] pairs for non-empty buckets *)
+  let buckets =
+    let acc = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if h.buckets.(i) > 0 then acc := Json.List [ Json.Int i; Json.Int h.buckets.(i) ] :: !acc
+    done;
+    !acc
+  in
+  Json.Obj
+    [
+      ("count", Json.Int h.h_count);
+      ("sum", Json.Float h.sum);
+      ("mean", Json.Float (mean t name));
+      ("min", Json.Float (if h.h_count = 0 then 0.0 else h.vmin));
+      ("max", Json.Float (if h.h_count = 0 then 0.0 else h.vmax));
+      ("p50", Json.Float (percentile t name 0.5));
+      ("p90", Json.Float (percentile t name 0.9));
+      ("p99", Json.Float (percentile t name 0.99));
+      ("buckets", Json.List buckets);
+    ]
+
+let to_json t =
+  let counters =
+    List.filter_map
+      (fun name ->
+        match Hashtbl.find_opt t.counters name with
+        | Some r -> Some (name, Json.Int !r)
+        | None -> None)
+      (exported_names t)
+  in
+  let histograms =
+    List.filter_map
+      (fun name ->
+        match Hashtbl.find_opt t.histograms name with
+        | Some h -> Some (name, hist_json t name h)
+        | None -> None)
+      (exported_names t)
+  in
+  Json.Obj [ ("counters", Json.Obj counters); ("histograms", Json.Obj histograms) ]
+
+let pp ppf t =
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.counters name with
+      | Some r -> Fmt.pf ppf "  %-32s %d@." name !r
+      | None -> ())
+    (exported_names t);
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.histograms name with
+      | Some h when h.h_count > 0 ->
+        Fmt.pf ppf "  %-32s n=%d p50=%.1f p90=%.1f p99=%.1f max=%.1f@." name h.h_count
+          (percentile t name 0.5) (percentile t name 0.9) (percentile t name 0.99) h.vmax
+      | _ -> ())
+    (exported_names t)

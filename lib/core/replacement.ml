@@ -82,6 +82,7 @@ let rec writeback_mapping t ~reason (space : Space_obj.t) (m : Mappings.m) =
   else remove_one t ~reason space m
 
 and remove_one t ~reason (space : Space_obj.t) (m : Mappings.m) =
+  let wb_t0 = now t in
   let pte = m.Mappings.pte in
   let vpn = Hw.Addr.page_of m.Mappings.va in
   ignore (Hw.Page_table.remove space.Space_obj.table m.Mappings.va);
@@ -117,7 +118,8 @@ and remove_one t ~reason (space : Space_obj.t) (m : Mappings.m) =
        { space = space.Space_obj.oid; va = m.Mappings.va; to_kernel = m.Mappings.owner });
   push_writeback t ~owner:m.Mappings.owner
     (Wb.Mapping_wb
-       { space = space.Space_obj.oid; space_tag = space.Space_obj.tag; state; reason })
+       { space = space.Space_obj.oid; space_tag = space.Space_obj.tag; state; reason });
+  observe_cycles t "wb.mapping_us" (now t - wb_t0)
 
 (** Free one mapping descriptor by evicting a victim.  False if every
     mapping is protected (whole chains locked). *)
@@ -125,6 +127,8 @@ let make_room_mapping t =
   match Mappings.victim t.mappings ~protected:(mapping_protected t) with
   | None -> false
   | Some m -> (
+    observe t "victim_scan.mapping"
+      (float_of_int (Mappings.last_scan_length t.mappings));
     match find_space t m.Mappings.space with
     | Some space ->
       writeback_mapping t ~reason:Wb.Displaced space m;
@@ -148,6 +152,7 @@ let force_deschedule t (th : Thread_obj.t) =
     thread must not be the one currently executing Cache Kernel code (the
     engine defers that case via [unload_pending]). *)
 let unload_thread_now t ~reason (th : Thread_obj.t) =
+  let wb_t0 = now t in
   force_deschedule t th;
   (* Signal mappings referencing this thread depend on it (Figure 6). *)
   List.iter
@@ -189,7 +194,8 @@ let unload_thread_now t ~reason (th : Thread_obj.t) =
          priority = th.Thread_obj.priority;
          state = Thread_obj.save th;
          reason;
-       })
+       });
+  observe_cycles t "wb.thread_us" (now t - wb_t0)
 
 (** Threads currently loaded against address space [space]. *)
 let threads_of_space t (space : Oid.t) =
@@ -208,6 +214,8 @@ let make_room_thread t =
   match Caches.Thread_cache.victim t.threads with
   | None -> false
   | Some th ->
+    observe t "victim_scan.thread"
+      (float_of_int (Caches.Thread_cache.last_scan_length t.threads));
     unload_thread_now t ~reason:Wb.Displaced th;
     true
 
@@ -217,6 +225,7 @@ let make_room_thread t =
     written back first (section 2.1), then the space itself.  Fails with
     [`Busy] if one of its threads is the thread executing this very call. *)
 let unload_space_now t ~reason (space : Space_obj.t) =
+  let wb_t0 = now t in
   let threads = threads_of_space t space.Space_obj.oid in
   if List.exists (is_active_thread t) threads then `Busy
   else begin
@@ -242,13 +251,18 @@ let unload_space_now t ~reason (space : Space_obj.t) =
     trace t (Trace.Object_written_back { oid; to_kernel = space.Space_obj.owner });
     push_writeback t ~owner:space.Space_obj.owner
       (Wb.Space_wb { oid; tag = space.Space_obj.tag; reason });
+    (* includes the dependent thread and mapping writebacks above *)
+    observe_cycles t "wb.space_us" (now t - wb_t0);
     `Done
   end
 
 let make_room_space t =
   match Caches.Space_cache.victim t.spaces with
   | None -> false
-  | Some space -> unload_space_now t ~reason:Wb.Displaced space = `Done
+  | Some space ->
+    observe t "victim_scan.space"
+      (float_of_int (Caches.Space_cache.last_scan_length t.spaces));
+    unload_space_now t ~reason:Wb.Displaced space = `Done
 
 (* -- Kernels -- *)
 
@@ -262,6 +276,7 @@ let spaces_of_kernel t (kernel : Oid.t) =
     mapping) it owns is written back first.  "An expensive operation",
     expected to be infrequent (section 2.4). *)
 let unload_kernel_now t ~reason (kernel : Kernel_obj.t) =
+  let wb_t0 = now t in
   let spaces = spaces_of_kernel t kernel.Kernel_obj.oid in
   let busy = List.exists (fun sp -> unload_space_now t ~reason:Wb.Dependent sp = `Busy) spaces in
   if busy then `Busy
@@ -280,10 +295,14 @@ let unload_kernel_now t ~reason (kernel : Kernel_obj.t) =
     (* Kernel objects are owned by, and written back to, the first kernel. *)
     push_writeback t ~cost:Config.c_kernel_writeback ~owner:t.first_kernel
       (Wb.Kernel_wb { oid; name = kernel.Kernel_obj.name; reason });
+    observe_cycles t "wb.kernel_us" (now t - wb_t0);
     `Done
   end
 
 let make_room_kernel t =
   match Caches.Kernel_cache.victim t.kernels with
   | None -> false
-  | Some k -> unload_kernel_now t ~reason:Wb.Displaced k = `Done
+  | Some k ->
+    observe t "victim_scan.kernel"
+      (float_of_int (Caches.Kernel_cache.last_scan_length t.kernels));
+    unload_kernel_now t ~reason:Wb.Displaced k = `Done

@@ -29,11 +29,14 @@ let enqueue t ~priority oid =
   Queue.push oid t.queues.(p);
   t.approx_ready <- t.approx_ready + 1
 
-(* Rotate through one priority queue looking for an eligible thread.
-   Ineligible-but-live entries are re-queued in order; stale entries are
-   dropped. *)
+(* Scan one priority queue looking for an eligible thread.  Stale entries
+   are dropped; ineligible-but-live entries keep their relative FIFO order
+   (they are collected and re-inserted ahead of the unexamined remainder,
+   not rotated to the tail — rotating on every failed pick would silently
+   reorder same-priority round robin). *)
 let scan_queue t q ~resolve ~eligible =
   let n = Queue.length q in
+  let skipped = Queue.create () in
   let found = ref None in
   let i = ref 0 in
   while !found = None && !i < n do
@@ -41,8 +44,13 @@ let scan_queue t q ~resolve ~eligible =
     let oid = Queue.pop q in
     match resolve oid with
     | None -> t.approx_ready <- t.approx_ready - 1 (* stale: drop *)
-    | Some d -> if eligible oid d then found := Some (oid, d) else Queue.push oid q
+    | Some d -> if eligible oid d then found := Some (oid, d) else Queue.push oid skipped
   done;
+  if not (Queue.is_empty skipped) then begin
+    (* q := skipped ++ q, preserving both segments' internal order *)
+    Queue.transfer q skipped;
+    Queue.transfer skipped q
+  end;
   (match !found with Some _ -> t.approx_ready <- t.approx_ready - 1 | None -> ());
   !found
 
@@ -58,17 +66,27 @@ let pick t ~resolve ~eligible =
   loop (Array.length t.queues - 1)
 
 (** Priority of the best eligible thread, without dequeuing (used for
-    preemption decisions). *)
+    preemption decisions).  Like {!scan_queue} this is a mutating scan:
+    stale identifiers are dropped as they are encountered (and
+    [approx_ready] decremented) instead of being re-resolved on every
+    preemption check forever; live entries keep their order. *)
 let highest_ready t ~resolve ~eligible =
   let rec loop p =
     if p < 0 then None
-    else if
-      Queue.fold
-        (fun acc oid ->
-          acc || match resolve oid with Some d -> eligible oid d | None -> false)
-        false t.queues.(p)
-    then Some p
-    else loop (p - 1)
+    else begin
+      let q = t.queues.(p) in
+      let n = Queue.length q in
+      let found = ref false in
+      for _ = 1 to n do
+        let oid = Queue.pop q in
+        match resolve oid with
+        | None -> t.approx_ready <- t.approx_ready - 1 (* stale: drop *)
+        | Some d ->
+          Queue.push oid q;
+          if (not !found) && eligible oid d then found := true
+      done;
+      if !found then Some p else loop (p - 1)
+    end
   in
   loop (Array.length t.queues - 1)
 

@@ -27,6 +27,7 @@ let deliver_to t (th : Thread_obj.t) ~va ~fast_path =
   trace t (Trace.Signal_delivered { thread = th.Thread_obj.oid; va; fast_path });
   if fast_path then t.stats.Stats.signals_fast <- t.stats.Stats.signals_fast + 1
   else t.stats.Stats.signals_slow <- t.stats.Stats.signals_slow + 1;
+  count t (if fast_path then "signal.fast" else "signal.slow");
   match th.Thread_obj.state with
   | Thread_obj.Blocked Thread_obj.On_signal ->
     (* The thread is parked on its wait-for-signal trap; queue the address
@@ -44,12 +45,17 @@ let deliver_to t (th : Thread_obj.t) ~va ~fast_path =
     charge t Config.c_signal_queue;
     if Thread_obj.queue_signal th ~depth_limit:t.config.Config.signal_queue_depth va then begin
       t.stats.Stats.signals_queued <- t.stats.Stats.signals_queued + 1;
+      count t "signal.queued";
       trace t (Trace.Signal_queued { thread = th.Thread_obj.oid; va })
     end
-    else t.stats.Stats.signals_dropped <- t.stats.Stats.signals_dropped + 1;
+    else begin
+      t.stats.Stats.signals_dropped <- t.stats.Stats.signals_dropped + 1;
+      count t "signal.dropped"
+    end;
     false
   | Thread_obj.Exited ->
     t.stats.Stats.signals_dropped <- t.stats.Stats.signals_dropped + 1;
+    count t "signal.dropped";
     false
 
 (* Validate a reverse-TLB hit: the thread generation must still match and

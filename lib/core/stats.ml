@@ -50,6 +50,36 @@ let counter t (kind : Oid.kind) =
   | Oid.Space -> t.spaces
   | Oid.Thread -> t.threads
 
+let counter_json (x : counter) =
+  Json.Obj
+    [
+      ("loads", Json.Int x.loads);
+      ("loads_with_writeback", Json.Int x.loads_with_writeback);
+      ("unloads", Json.Int x.unloads);
+      ("writebacks", Json.Int x.writebacks);
+      ("stale_lookups", Json.Int x.misses);
+    ]
+
+(** Per-object-kind cache counters plus the flat protocol counters, for the
+    machine-readable export alongside {!Metrics.to_json}. *)
+let to_json t =
+  Json.Obj
+    [
+      ("kernels", counter_json t.kernels);
+      ("spaces", counter_json t.spaces);
+      ("threads", counter_json t.threads);
+      ("mappings", counter_json t.mappings);
+      ("faults_forwarded", Json.Int t.faults_forwarded);
+      ("traps_forwarded", Json.Int t.traps_forwarded);
+      ("signals_fast", Json.Int t.signals_fast);
+      ("signals_slow", Json.Int t.signals_slow);
+      ("signals_queued", Json.Int t.signals_queued);
+      ("signals_dropped", Json.Int t.signals_dropped);
+      ("cow_copies", Json.Int t.cow_copies);
+      ("consistency_flushes", Json.Int t.consistency_flushes);
+      ("preemptions", Json.Int t.preemptions);
+    ]
+
 let pp ppf t =
   let c name (x : counter) =
     Fmt.pf ppf "  %-9s loads=%d (+wb %d) unloads=%d writebacks=%d stale=%d@." name x.loads

@@ -18,6 +18,11 @@ let pp_mode ppf = function
   | User -> Fmt.string ppf "user"
   | Kernel_mode -> Fmt.string ppf "kernel"
 
+(* Why a handler frame was pushed: fault forwarding (Figure 2) or trap
+   forwarding (section 2.3).  The engine stamps the push time so frame
+   completion can observe the end-to-end latency per origin. *)
+type handler_origin = From_fault | From_trap | Internal
+
 type frame = {
   mutable status : Hw.Exec.status;
   mode : mode;
@@ -25,10 +30,12 @@ type frame = {
   mutable combined_resume : bool;
       (* handler used the optimized load-mapping-and-resume call: the return
          path skips the separate exception-complete trap (section 2.1) *)
+  mutable origin : handler_origin;
+  mutable pushed_at : Hw.Cost.cycles; (* time of the trap/fault that pushed it *)
 }
 
 let frame ?(mode = User) ?(kernel = Oid.none) status =
-  { status; mode; kernel; combined_resume = false }
+  { status; mode; kernel; combined_resume = false; origin = Internal; pushed_at = 0 }
 
 type block_reason = On_signal
 

@@ -3,7 +3,14 @@
    Tests use this to validate protocol sequences (e.g. the six steps of
    Figure 2's page-fault handling) and examples use it to narrate runs.
    Tracing is off by default; when enabled, events carry the simulated
-   timestamp of the CPU that generated them. *)
+   timestamp of the CPU that generated them.
+
+   Storage is a fixed-capacity ring buffer (capacity from
+   {!Config.trace_capacity} via {!Instance.create}): long tracing-enabled
+   runs hold at most [capacity] entries, dropping the oldest and counting
+   the drops, instead of growing without bound.  The buffer is allocated
+   lazily and grows geometrically up to the cap, so the common
+   tracing-disabled instance costs a few words. *)
 
 type event =
   | Fault_trap of { thread : Oid.t; va : int; kind : string } (* Figure 2 step 1 *)
@@ -54,25 +61,141 @@ let pp_event ppf = function
   | Consistency_flush { pfn } -> Fmt.pf ppf "consistency-flush pfn=%d" pfn
   | Custom s -> Fmt.string ppf s
 
+let event_name = function
+  | Fault_trap _ -> "fault_trap"
+  | Forward_to_kernel _ -> "forward_to_kernel"
+  | Handler_running _ -> "handler_running"
+  | Mapping_loaded _ -> "mapping_loaded"
+  | Exception_complete _ -> "exception_complete"
+  | Thread_resumed _ -> "thread_resumed"
+  | Object_loaded _ -> "object_loaded"
+  | Object_written_back _ -> "object_written_back"
+  | Mapping_written_back _ -> "mapping_written_back"
+  | Signal_delivered _ -> "signal_delivered"
+  | Signal_queued _ -> "signal_queued"
+  | Trap_forwarded _ -> "trap_forwarded"
+  | Thread_preempted _ -> "thread_preempted"
+  | Thread_dispatched _ -> "thread_dispatched"
+  | Quota_exceeded _ -> "quota_exceeded"
+  | Consistency_flush _ -> "consistency_flush"
+  | Custom _ -> "custom"
+
+let event_fields ev =
+  let oid name (o : Oid.t) = (name, Json.String (Fmt.str "%a" Oid.pp o)) in
+  match ev with
+  | Fault_trap { thread; va; kind } ->
+    [ oid "thread" thread; ("va", Json.Int va); ("kind", Json.String kind) ]
+  | Forward_to_kernel { thread; kernel } -> [ oid "thread" thread; oid "kernel" kernel ]
+  | Handler_running { thread } -> [ oid "thread" thread ]
+  | Mapping_loaded { space; va; pfn } ->
+    [ oid "space" space; ("va", Json.Int va); ("pfn", Json.Int pfn) ]
+  | Exception_complete { thread } -> [ oid "thread" thread ]
+  | Thread_resumed { thread } -> [ oid "thread" thread ]
+  | Object_loaded { oid = o } -> [ oid "oid" o ]
+  | Object_written_back { oid = o; to_kernel } -> [ oid "oid" o; oid "to_kernel" to_kernel ]
+  | Mapping_written_back { space; va; to_kernel } ->
+    [ oid "space" space; ("va", Json.Int va); oid "to_kernel" to_kernel ]
+  | Signal_delivered { thread; va; fast_path } ->
+    [ oid "thread" thread; ("va", Json.Int va); ("fast_path", Json.Bool fast_path) ]
+  | Signal_queued { thread; va } -> [ oid "thread" thread; ("va", Json.Int va) ]
+  | Trap_forwarded { thread; kernel } -> [ oid "thread" thread; oid "kernel" kernel ]
+  | Thread_preempted { thread; cpu } -> [ oid "thread" thread; ("cpu", Json.Int cpu) ]
+  | Thread_dispatched { thread; cpu } -> [ oid "thread" thread; ("cpu", Json.Int cpu) ]
+  | Quota_exceeded { kernel; cpu } -> [ oid "kernel" kernel; ("cpu", Json.Int cpu) ]
+  | Consistency_flush { pfn } -> [ ("pfn", Json.Int pfn) ]
+  | Custom s -> [ ("text", Json.String s) ]
+
 type entry = { time : Hw.Cost.cycles; event : event }
 
-type t = { mutable enabled : bool; mutable entries : entry list }
+type t = {
+  mutable enabled : bool;
+  capacity : int;
+  mutable buf : entry array; (* grows geometrically up to [capacity] *)
+  mutable head : int; (* next write position *)
+  mutable len : int; (* live entries, <= capacity *)
+  mutable dropped : int; (* oldest entries overwritten after the cap *)
+}
 
-let create ?(enabled = false) () = { enabled; entries = [] }
+let default_capacity = 65536
+
+let create ?(enabled = false) ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { enabled; capacity; buf = [||]; head = 0; len = 0; dropped = 0 }
+
 let enable t = t.enabled <- true
 let disable t = t.enabled <- false
-let clear t = t.entries <- []
+let capacity t = t.capacity
+let length t = t.len
+let dropped t = t.dropped
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0
+
+(* Grow the backing array towards the cap; entries are re-laid-out in
+   chronological order starting at index 0 (only reached while len < cap,
+   where the ring has never wrapped, so a plain blit suffices). *)
+let grow t e =
+  let target = min t.capacity (max 64 (2 * Array.length t.buf)) in
+  let nbuf = Array.make target e in
+  Array.blit t.buf 0 nbuf 0 t.len;
+  t.buf <- nbuf;
+  t.head <- t.len
 
 let record t ~time event =
-  if t.enabled then t.entries <- { time; event } :: t.entries
+  if t.enabled then begin
+    let e = { time; event } in
+    if t.len < t.capacity then begin
+      if t.len = Array.length t.buf then grow t e;
+      t.buf.(t.head) <- e;
+      t.head <- (t.head + 1) mod Array.length t.buf;
+      t.len <- t.len + 1
+    end
+    else begin
+      (* full: overwrite the oldest (head points at it once wrapped) *)
+      t.buf.(t.head) <- e;
+      t.head <- (t.head + 1) mod t.capacity;
+      t.dropped <- t.dropped + 1
+    end
+  end
+
+(** Fold over entries in chronological order. *)
+let fold t f acc =
+  if t.len = 0 then acc
+  else begin
+    let n = Array.length t.buf in
+    (* oldest entry: head - len, modulo the buffer size *)
+    let start = ((t.head - t.len) mod n + n) mod n in
+    let acc = ref acc in
+    for i = 0 to t.len - 1 do
+      acc := f !acc t.buf.((start + i) mod n)
+    done;
+    !acc
+  end
+
+let entries t = List.rev (fold t (fun acc e -> e :: acc) [])
 
 (** Events in chronological order. *)
-let events t = List.rev_map (fun e -> e.event) t.entries
+let events t = List.rev (fold t (fun acc e -> e.event :: acc) [])
 
-let entries t = List.rev t.entries
+let iter t f = fold t (fun () e -> f e) ()
 
 let pp ppf t =
-  List.iter
-    (fun { time; event } ->
+  iter t (fun { time; event } ->
       Fmt.pf ppf "[%8.2fus] %a@." (Hw.Cost.us_of_cycles time) pp_event event)
-    (entries t)
+
+let entry_json { time; event } =
+  Json.Obj
+    (("t_us", Json.Float (Hw.Cost.us_of_cycles time))
+    :: ("event", Json.String (event_name event))
+    :: event_fields event)
+
+let to_json t =
+  Json.Obj
+    [
+      ("capacity", Json.Int t.capacity);
+      ("length", Json.Int t.len);
+      ("dropped", Json.Int t.dropped);
+      ("entries", Json.List (List.rev (fold t (fun acc e -> entry_json e :: acc) [])));
+    ]

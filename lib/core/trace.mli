@@ -1,6 +1,10 @@
 (** Event trace of Cache Kernel activity: tests validate protocol
     sequences against it (e.g. Figure 2's six steps), examples narrate
-    runs with it.  Off by default. *)
+    runs with it.  Off by default.
+
+    Storage is a bounded ring: once [capacity] entries are live, recording
+    another overwrites the oldest and increments {!dropped}, so a
+    tracing-enabled run's memory is capped no matter how long it runs. *)
 
 type event =
   | Fault_trap of { thread : Oid.t; va : int; kind : string }
@@ -23,18 +27,40 @@ type event =
 
 val pp_event : event Fmt.t
 
+val event_name : event -> string
+(** Stable snake_case tag used by the JSON export. *)
+
 type entry = { time : Hw.Cost.cycles; event : event }
 
 type t
 
-val create : ?enabled:bool -> unit -> t
+val default_capacity : int
+(** Ring capacity used when none is given: 65536 entries. *)
+
+val create : ?enabled:bool -> ?capacity:int -> unit -> t
 val enable : t -> unit
 val disable : t -> unit
 val clear : t -> unit
 val record : t -> time:Hw.Cost.cycles -> event -> unit
 
+val capacity : t -> int
+val length : t -> int
+(** Live entries, always [<= capacity t]. *)
+
+val dropped : t -> int
+(** Oldest entries overwritten since creation (or the last {!clear}). *)
+
 val events : t -> event list
 (** Events in chronological order. *)
 
 val entries : t -> entry list
+(** Entries in chronological order. *)
+
+val fold : t -> ('a -> entry -> 'a) -> 'a -> 'a
+(** Fold chronologically without materialising a list. *)
+
+val iter : t -> (entry -> unit) -> unit
 val pp : t Fmt.t
+
+val to_json : t -> Json.t
+(** [{capacity; length; dropped; entries: [{t_us; event; ...fields}]}]. *)

@@ -23,10 +23,17 @@ type thread_point = {
 (** Run [n] compute+yield threads through [rounds] rounds against a thread
     cache of [capacity] descriptors.  Threads displaced by replacement are
     reloaded by the application kernel (the churn the paper predicts once a
-    system actively switches among more threads than the cache holds). *)
-let thread_point ?(capacity = 64) ?(rounds = 20) n =
-  let config = { Config.default with Config.thread_cache = capacity } in
+    system actively switches among more threads than the cache holds).
+    [config] overrides the swept configuration (the thread-cache capacity
+    is still forced to [capacity]); [prepare] runs on the freshly booted
+    instance before any threads spawn — tests use it to enable tracing or
+    capture the instance for observability assertions. *)
+let thread_point ?config ?(capacity = 64) ?(rounds = 20) ?(prepare = fun _ -> ()) n =
+  let config =
+    { (Option.value config ~default:Config.default) with Config.thread_cache = capacity }
+  in
   let inst = Setup.instance ~config ~cpus:1 () in
+  prepare inst;
   let ak = Setup.first_kernel inst in
   let vsp = Setup.ok (Segment_mgr.create_space ak.App_kernel.mgr) in
   let body () =
@@ -72,7 +79,8 @@ let thread_point ?(capacity = 64) ?(rounds = 20) n =
     reloads = !reloads;
   }
 
-let thread_sweep ?capacity ?rounds counts = List.map (thread_point ?capacity ?rounds) counts
+let thread_sweep ?config ?capacity ?rounds ?prepare counts =
+  List.map (thread_point ?config ?capacity ?rounds ?prepare) counts
 
 (* -- C2: mapping-cache sweep -- *)
 
