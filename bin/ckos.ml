@@ -46,8 +46,41 @@ let export_observability inst ~metrics_out ~trace_out =
     (fun path -> write_json path "trace" (Trace.to_json inst.Instance.trace))
     trace_out
 
-let run_workload cpus procs metrics_out trace_out =
-  let inst = Workload.Setup.instance ~cpus () in
+(* The sites ckos knows how to balance-print; must match the names in
+   DESIGN.md section 6 (injection & recovery). *)
+let chaos_sites =
+  [ "bstore.fail"; "bstore.delay"; "signal.drop"; "signal.dup"; "stale.load";
+    "fault.forward"; "node.crash" ]
+
+let chaos_config ~rate ~seed =
+  if rate <= 0.0 then None
+  else
+    Some
+      {
+        Config.chaos_default with
+        Config.chaos_seed = seed;
+        io_fail = rate;
+        io_delay = rate /. 2.;
+        signal_drop = rate;
+        stale_rate = rate;
+        forward_drop = rate;
+      }
+
+let print_chaos_balance inst =
+  let m = inst.Instance.metrics in
+  Fmt.pr "fault injection balance:@.";
+  List.iter
+    (fun site ->
+      let i = Metrics.counter m ("inject." ^ site) in
+      let r = Metrics.counter m ("recover." ^ site) in
+      if i > 0 || r > 0 then Fmt.pr "  %-14s inject %5d   recover %5d@." site i r)
+    chaos_sites
+
+let run_workload cpus procs chaos chaos_seed metrics_out trace_out =
+  let config =
+    { Config.default with Config.chaos = chaos_config ~rate:chaos ~seed:chaos_seed }
+  in
+  let inst = Workload.Setup.instance ~config ~cpus () in
   if trace_out <> None then Trace.enable inst.Instance.trace;
   let groups = List.init (Instance.n_groups inst) Fun.id in
   let emu = Workload.Setup.ok (Unix_emu.Emulator.boot inst ~groups) in
@@ -76,6 +109,7 @@ let run_workload cpus procs metrics_out trace_out =
   Fmt.pr "metrics:@.%a" Metrics.pp inst.Instance.metrics;
   Fmt.pr "space accounting:@.  @[<v>%a@]@." Space_accounting.pp
     (Space_accounting.measure inst);
+  if chaos > 0.0 then print_chaos_balance inst;
   export_observability inst ~metrics_out ~trace_out
 
 let show_trace metrics_out trace_out =
@@ -124,7 +158,22 @@ let trace_out =
 let run_term =
   let cpus = Arg.(value & opt int 4 & info [ "cpus" ] ~doc:"CPUs per MPM.") in
   let procs = Arg.(value & opt int 4 & info [ "procs" ] ~doc:"Processes to run.") in
-  Term.(const run_workload $ cpus $ procs $ metrics_out $ trace_out)
+  let chaos =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "chaos" ] ~docv:"RATE"
+          ~doc:
+            "Enable deterministic fault injection at the given per-site rate \
+             (0.0-1.0) and print the inject/recover balance.")
+  in
+  let chaos_seed =
+    Arg.(
+      value
+      & opt int 42
+      & info [ "chaos-seed" ] ~docv:"N" ~doc:"Seed for the fault-injection PRNG streams.")
+  in
+  Term.(const run_workload $ cpus $ procs $ chaos $ chaos_seed $ metrics_out $ trace_out)
 
 let run_cmd = Cmd.v (Cmd.info "run" ~doc:"Run a UNIX workload and print statistics") run_term
 

@@ -27,6 +27,9 @@ type t = {
       (* kernel-object writebacks (only the first kernel receives these) *)
   mutable draining : bool;
   mutable writebacks_processed : int;
+  mutable boot_spec : Kernel_obj.spec option;
+      (* the spec this kernel was prepared with, kept so a crashed node can
+         re-boot its first kernel ({!reboot_first}) *)
 }
 
 let default_trap _t _thread p = p (* echo *)
@@ -87,6 +90,10 @@ let prepare inst ~name ?(cpu_percent = 100) ?(max_priority = 24) ?(max_locked = 
         Hw.Mpm.now inst.Instance.node)
   in
   let store = Backing_store.create ~disk ~mem:inst.Instance.node.Hw.Mpm.mem in
+  if Fault_inject.enabled inst.Instance.fi then
+    Backing_store.set_fault_plane store ~fi:inst.Instance.fi
+      ~events:inst.Instance.node.Hw.Mpm.events ~now:(fun () ->
+        Hw.Mpm.now inst.Instance.node);
   let oid_ref = ref Oid.none in
   let kernel () = !oid_ref in
   let env = { Segment_mgr.inst; kernel; frames; store } in
@@ -112,6 +119,7 @@ let prepare inst ~name ?(cpu_percent = 100) ?(max_priority = 24) ?(max_locked = 
       on_kernel_writeback = (fun _ _ _ _ -> ());
       draining = false;
       writebacks_processed = 0;
+      boot_spec = None;
     }
   in
   let spec =
@@ -123,6 +131,7 @@ let prepare inst ~name ?(cpu_percent = 100) ?(max_priority = 24) ?(max_locked = 
       max_locked;
     }
   in
+  t.boot_spec <- Some spec;
   (t, spec)
 
 (** Bind the loaded kernel object and its granted page groups. *)
@@ -173,12 +182,39 @@ let reattach_space t =
       | Ok () -> Ok ()
       | Error e -> Error e))
 
+(** After an MPM crash: every Cache Kernel descriptor this kernel held is
+    gone without writeback.  Mark the library records accordingly — spaces
+    need reloading, loaded threads lost their context and restart fresh,
+    written-back thread images survive. *)
+let mark_crashed t =
+  Segment_mgr.mark_crashed t.mgr;
+  Thread_lib.mark_crashed t.threads
+
 (** Reload every written-back (non-exited) thread — used after swap-in. *)
 let resume_threads t =
   Thread_lib.iter t.threads (fun e ->
       match e.Thread_lib.run with
       | Thread_lib.Unloaded _ -> ignore (Thread_lib.schedule t.threads e.Thread_lib.id)
       | Thread_lib.Loaded | Thread_lib.Exited -> ())
+
+(** Re-boot this kernel as the first kernel of a restarted node: reload
+    the kernel object through {!Api.boot} (the crashed node's caches are
+    empty, so this is a fresh boot of the same spec), rebind the kernel's
+    own space and reload its threads from their writeback images.  Page
+    groups granted at the original attach stay in the frame allocator. *)
+let reboot_first t =
+  match t.boot_spec with
+  | None -> Error (Api.Bad_argument "kernel was never prepared")
+  | Some spec -> (
+    match Api.boot t.inst spec with
+    | Error e -> Error e
+    | Ok koid -> (
+      t.oid_ref := koid;
+      match reattach_space t with
+      | Error e -> Error e
+      | Ok () ->
+        resume_threads t;
+        Ok koid))
 
 (** Convenience: spawn a thread in the kernel's own address space. *)
 let spawn_internal t ~priority ?affinity ?(lock = false) body =

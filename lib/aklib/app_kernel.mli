@@ -24,6 +24,8 @@ type t = {
       (** kernel-object writebacks (the first kernel receives these) *)
   mutable draining : bool;
   mutable writebacks_processed : int;
+  mutable boot_spec : Kernel_obj.spec option;
+      (** the spec this kernel was prepared with (for {!reboot_first}) *)
 }
 
 val oid : t -> Oid.t
@@ -55,6 +57,14 @@ val reattach_space : t -> (unit, Api.error) result
 
 val resume_threads : t -> unit
 (** Reload every written-back (non-exited) thread after swap-in. *)
+
+val mark_crashed : t -> unit
+(** After an MPM crash: mark all library records for descriptors that died
+    with the node — spaces need reloading, loaded threads restart fresh. *)
+
+val reboot_first : t -> (Oid.t, Api.error) result
+(** Re-boot this kernel as the first kernel of a restarted node and reload
+    its own space and threads from their writeback images. *)
 
 val spawn_internal :
   t ->

@@ -5,15 +5,68 @@
    transfers between physical frames and blocks; completions arrive through
    the node's event queue. *)
 
+type chaos_plane = {
+  fi : Cachekernel.Fault_inject.t;
+  events : Hw.Event_queue.t;
+  now : unit -> Hw.Cost.cycles;
+}
+
 type t = {
   disk : Hw.Disk.t;
   mem : Hw.Phys_mem.t;
   mutable free_blocks : int list;
   mutable page_ins : int;
   mutable page_outs : int;
+  mutable retries : int;
+  mutable chaos : chaos_plane option;
 }
 
-let create ~disk ~mem = { disk; mem; free_blocks = []; page_ins = 0; page_outs = 0 }
+let create ~disk ~mem =
+  {
+    disk;
+    mem;
+    free_blocks = [];
+    page_ins = 0;
+    page_outs = 0;
+    retries = 0;
+    chaos = None;
+  }
+
+let set_fault_plane t ~fi ~events ~now = t.chaos <- Some { fi; events; now }
+
+(* Run [go] through the injection plane.  An injected failure schedules a
+   retry after an exponentially-backed-off delay on the node's event queue;
+   the plane never fails the same site twice in a row, so the retry is
+   guaranteed to transfer (a transient-fault model — [io_max_retries] is a
+   belt-and-braces bound, not a load-bearing one).  An injected delay just
+   starts the transfer late and completes on its own. *)
+let rec attempt t ~n go =
+  match t.chaos with
+  | None -> go ()
+  | Some { fi; events; now } -> (
+    let open Cachekernel in
+    match Fault_inject.io_fate fi with
+    | `Ok -> go ()
+    | `Ok_after_fail ->
+      Fault_inject.recover fi ~site:"bstore.fail";
+      go ()
+    | `Fail when n <= Fault_inject.io_max_retries fi ->
+      Fault_inject.inject fi ~site:"bstore.fail";
+      t.retries <- t.retries + 1;
+      let backoff =
+        Fault_inject.io_retry_backoff_us fi *. (2.0 ** float_of_int (n - 1))
+      in
+      Hw.Event_queue.schedule events
+        ~time:(now () + Hw.Cost.cycles_of_us backoff)
+        (fun () -> attempt t ~n:(n + 1) go)
+    | `Fail -> go () (* retry budget exhausted: let the transfer through *)
+    | `Delay us ->
+      Fault_inject.inject fi ~site:"bstore.delay";
+      Hw.Event_queue.schedule events
+        ~time:(now () + Hw.Cost.cycles_of_us us)
+        (fun () ->
+          Fault_inject.recover fi ~site:"bstore.delay";
+          go ()))
 
 let alloc_block t =
   match t.free_blocks with
@@ -29,18 +82,25 @@ let free_block t b = t.free_blocks <- b :: t.free_blocks
 let page_out t ?block ~pfn k =
   t.page_outs <- t.page_outs + 1;
   let block = match block with Some b -> b | None -> alloc_block t in
-  let data = Hw.Phys_mem.read_bytes t.mem (Hw.Addr.addr_of_page pfn) Hw.Addr.page_size in
-  Hw.Disk.write t.disk ~block data (fun () -> k block)
+  attempt t ~n:1 (fun () ->
+      (* the frame is read at transfer time, so a delayed write captures
+         the page contents as of when the transfer actually starts *)
+      let data =
+        Hw.Phys_mem.read_bytes t.mem (Hw.Addr.addr_of_page pfn) Hw.Addr.page_size
+      in
+      Hw.Disk.write t.disk ~block data (fun () -> k block))
 
 (** Read [block] into frame [pfn]; [k ()] runs on completion. *)
 let page_in t ~block ~pfn k =
   t.page_ins <- t.page_ins + 1;
-  Hw.Disk.read t.disk ~block (fun data ->
-      Hw.Phys_mem.write_bytes t.mem (Hw.Addr.addr_of_page pfn) data;
-      k ())
+  attempt t ~n:1 (fun () ->
+      Hw.Disk.read t.disk ~block (fun data ->
+          Hw.Phys_mem.write_bytes t.mem (Hw.Addr.addr_of_page pfn) data;
+          k ()))
 
 (** Synchronous block write for boot-time loading of program images. *)
 let write_block_now t ~block data = Hw.Disk.write_now t.disk ~block data
 
 let page_ins t = t.page_ins
 let page_outs t = t.page_outs
+let retries t = t.retries

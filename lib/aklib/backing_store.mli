@@ -6,6 +6,17 @@ type t
 
 val create : disk:Hw.Disk.t -> mem:Hw.Phys_mem.t -> t
 
+val set_fault_plane :
+  t ->
+  fi:Cachekernel.Fault_inject.t ->
+  events:Hw.Event_queue.t ->
+  now:(unit -> Hw.Cost.cycles) ->
+  unit
+(** Route transfers through the fault-injection plane (chaos sites
+    [bstore.fail], [bstore.delay]).  Injected failures retry with
+    exponential backoff on [events]; injected delays start the transfer
+    late.  Without this call, transfers are direct. *)
+
 val alloc_block : t -> int
 val free_block : t -> int -> unit
 
@@ -20,3 +31,6 @@ val write_block_now : t -> block:int -> Bytes.t -> unit
 
 val page_ins : t -> int
 val page_outs : t -> int
+
+val retries : t -> int
+(** Transfer attempts re-issued after an injected failure. *)

@@ -49,42 +49,79 @@ module Wire = struct
       (Buffer.contents buf, rest)
 end
 
-(** One side of a connection: a request endpoint and a response endpoint
-    (each a {!Channel.endpoint}). *)
-type conn = { req : Channel.endpoint; rsp : Channel.endpoint }
+(* One side of a connection: a request endpoint, a response endpoint, and
+   the sequence state of the at-most-once protocol.  Requests and replies
+   carry a sequence word: the server remembers the last sequence served
+   per slot and resends the cached reply on a duplicate (a chaos-
+   duplicated bell signal makes it see the same request twice), and the
+   client discards replies whose sequence is not the one it is awaiting
+   (a resent reply raced a newer call).  Each side builds its own [conn],
+   so client and server sequence state never alias. *)
+type conn = {
+  req : Channel.endpoint;
+  rsp : Channel.endpoint;
+  fi : Fault_inject.t option;
+  mutable next_seq : int; (* client side: last sequence issued *)
+  last_seq : int array; (* server side: last sequence served, per slot *)
+  last_reply : int list array; (* server side: cached replies *)
+}
+
+let conn ?fi ~req ~rsp () =
+  {
+    req;
+    rsp;
+    fi;
+    next_seq = 0;
+    last_seq = Array.make Channel.n_slots 0;
+    last_reply = Array.make Channel.n_slots [];
+  }
 
 (** Build the shared state for a connection: two channels. *)
 let create_shared mgr ~name =
   ( Channel.create_shared mgr ~name:(name ^ ".req"),
     Channel.create_shared mgr ~name:(name ^ ".rsp") )
 
-(** Client-side call: marshal [method_id :: args] into a request slot, ring
-    the bell, and block for the reply in the paired response slot. *)
+(** Client-side call: marshal [seq :: method_id :: args] into a request
+    slot, ring the bell, and block for the matching reply in the paired
+    response slot; replies with a stale sequence are discarded. *)
 let call (c : conn) ~slot ~method_id args =
-  Channel.send c.req ~slot (method_id :: args);
+  c.next_seq <- c.next_seq + 1;
+  let seq = c.next_seq in
+  Channel.send c.req ~slot (seq :: method_id :: args);
   let rec await () =
     match Hw.Exec.trap Api.Ck_wait_signal with
     | Api.Ck_signal va -> (
       match Channel.decode c.rsp va with
-      | Some s when s = slot ->
+      | Some s when s = slot -> (
         let len = Hw.Exec.mem_read (c.rsp.Channel.bell_va + (4 * s)) in
-        Channel.read_slot c.rsp ~slot:s ~len
+        match Channel.read_slot c.rsp ~slot:s ~len with
+        | rseq :: reply when rseq = seq -> reply
+        | _ -> await () (* stale or resent reply: not the one we await *))
       | _ -> await ())
     | _ -> await ()
   in
   await ()
 
-(** Server dispatch loop body: wait for one request, dispatch to [handle],
-    reply in the same slot.  Returns after one exchange so callers can
-    compose it into their own loops. *)
-let serve_one (c : conn) ~handle =
+(** Server dispatch loop body: wait for one fresh request, dispatch to
+    [handle], reply in the same slot.  A duplicate request (same sequence
+    as the last served on the slot) resends the cached reply without
+    re-invoking the handler, then keeps waiting.  Returns after one fresh
+    exchange so callers can compose it into their own loops. *)
+let rec serve_one (c : conn) ~handle =
   let slot, msg = Channel.recv c.req in
-  let reply =
-    match msg with
-    | method_id :: args -> handle ~method_id args
-    | [] -> []
-  in
-  Channel.send c.rsp ~slot reply
+  match msg with
+  | seq :: _ when seq = c.last_seq.(slot) ->
+    (match c.fi with
+    | Some fi -> Fault_inject.recover fi ~site:"signal.dup"
+    | None -> ());
+    Channel.send c.rsp ~slot (seq :: c.last_reply.(slot));
+    serve_one c ~handle
+  | seq :: method_id :: args ->
+    let reply = handle ~method_id args in
+    c.last_seq.(slot) <- seq;
+    c.last_reply.(slot) <- reply;
+    Channel.send c.rsp ~slot (seq :: reply)
+  | _ -> Channel.send c.rsp ~slot []
 
 (** Run [serve_one] forever (for dedicated server threads). *)
 let serve_forever (c : conn) ~handle =

@@ -13,8 +13,19 @@ module Wire : sig
   (** Decode a string; returns it and the remaining words. *)
 end
 
-type conn = { req : Channel.endpoint; rsp : Channel.endpoint }
-(** One side of a connection: request and response channels. *)
+type conn
+(** One side of a connection: request and response channels plus the
+    sequence state of the at-most-once protocol.  Each side builds its
+    own [conn] from its attached endpoints. *)
+
+val conn :
+  ?fi:Cachekernel.Fault_inject.t ->
+  req:Channel.endpoint ->
+  rsp:Channel.endpoint ->
+  unit ->
+  conn
+(** Passing [fi] lets the server count deduplicated requests as
+    [recover.signal.dup] when chaos duplicates deliveries. *)
 
 val create_shared : Segment_mgr.t -> name:string -> Channel.shared * Channel.shared
 

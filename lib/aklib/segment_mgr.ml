@@ -136,6 +136,27 @@ let attach_region _t vsp region = vsp.regions <- region :: vsp.regions
 
 let region_of vsp va = List.find_opt (fun r -> Region.contains r va) vsp.regions
 
+(** Reload a written-back space (a new identifier is assigned). *)
+let reload_space t vsp =
+  if vsp.loaded then Ok vsp.oid
+  else
+    match Api.load_space t.env.inst ~caller:(t.env.kernel ()) ~tag:vsp.tag () with
+    | Ok oid ->
+      vsp.oid <- oid;
+      vsp.loaded <- true;
+      Ok oid
+    | Error e -> Error e
+
+(** After an MPM crash: every space identifier this kernel held died with
+    the node's descriptor caches — without any writeback record arriving.
+    Mark all spaces unloaded so the next use reloads them. *)
+let mark_crashed t =
+  Hashtbl.iter
+    (fun _ vsp ->
+      vsp.loaded <- false;
+      vsp.oid <- Oid.none)
+    t.spaces
+
 (* -- Blocking I/O from fault-handler context -- *)
 
 (* Wait for a completion signal carrying a unique token; other signals that
@@ -294,6 +315,13 @@ let load_map t vsp (region : Region.t) ~va ~pfn ?cow_dst ~writable ~resume () =
     match load t.env.inst ~caller:(t.env.kernel ()) ~space:vsp.oid spec with
     | Ok () -> Ok ()
     | Error e -> Error e)
+  | Error Api.Stale_reference -> (
+    (* The space was victimized between the fault and this load — or chaos
+       injected the same outcome.  Reload it and retry once: the paper's
+       reload-and-retry protocol for stale identifiers (section 2.1). *)
+    match reload_space t vsp with
+    | Error e -> Error e
+    | Ok _ -> load t.env.inst ~caller:(t.env.kernel ()) ~space:vsp.oid spec)
   | Error e -> Error e
 
 (* Regions (across all spaces) that view segment page [page] of [seg]. *)
@@ -503,17 +531,6 @@ let handle_space_writeback t ~tag =
   | Some vsp ->
     vsp.loaded <- false;
     vsp.oid <- Oid.none
-
-(** Reload a written-back space (a new identifier is assigned). *)
-let reload_space t vsp =
-  if vsp.loaded then Ok vsp.oid
-  else
-    match Api.load_space t.env.inst ~caller:(t.env.kernel ()) ~tag:vsp.tag () with
-    | Ok oid ->
-      vsp.oid <- oid;
-      vsp.loaded <- true;
-      Ok oid
-    | Error e -> Error e
 
 (* -- Host-context helpers (boot-time program loading) -- *)
 

@@ -71,6 +71,10 @@ val region_of : vspace -> int -> Region.t option
 val reload_space : t -> vspace -> (Oid.t, Api.error) result
 (** Reload a written-back space (a new identifier is assigned). *)
 
+val mark_crashed : t -> unit
+(** After an MPM crash: mark every space unloaded — its identifier died
+    with the node's descriptor caches, without a writeback record. *)
+
 (** {1 Paging} *)
 
 val alloc_frame : t -> thread:Oid.t -> int option

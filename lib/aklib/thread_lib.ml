@@ -53,8 +53,9 @@ let load_entry t (e : entry) ~start =
     e.run <- Loaded;
     Ok oid
   | Error Api.Stale_reference ->
-    (* The space was written back concurrently with the load: reload the
-       address space object and retry — the paper's retry protocol. *)
+    (* The space was written back concurrently with the load (or chaos
+       injected the same outcome): reload the address space object and
+       retry — the paper's retry protocol. *)
     t.reload_retries <- t.reload_retries + 1;
     (match load () with
     | Ok oid ->
@@ -128,6 +129,21 @@ let handle_writeback t ~tag ~(state : Thread_obj.saved) ~(reason : Wb.reason) ~p
     | Wb.Exited -> e.run <- Exited
     | Wb.Displaced | Wb.Requested | Wb.Dependent | Wb.Consistency ->
       e.run <- Unloaded (Some state))
+
+(** After an MPM crash: threads that were loaded lost their volatile
+    context with the node — no writeback record ever arrived — so they
+    restart fresh from their bodies.  Threads already written back keep
+    their saved state: that image survived the crash (it lives in this
+    library's records, the analogue of the kernel's backing store). *)
+let mark_crashed t =
+  Hashtbl.iter
+    (fun _ e ->
+      match e.run with
+      | Loaded ->
+        e.oid <- Oid.none;
+        e.run <- Unloaded None
+      | Unloaded _ | Exited -> ())
+    t.table
 
 let running t id = match entry t id with Some e -> e.run = Loaded | None -> false
 let exited t id = match entry t id with Some e -> e.run = Exited | None -> true

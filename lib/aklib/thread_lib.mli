@@ -52,6 +52,10 @@ val set_priority : t -> int -> int -> (unit, Api.error) result
 val handle_writeback :
   t -> tag:int -> state:Thread_obj.saved -> reason:Wb.reason -> priority:int -> unit
 
+val mark_crashed : t -> unit
+(** After an MPM crash: loaded threads lost their context with the node
+    and restart fresh; written-back saved states survive. *)
+
 val running : t -> int -> bool
 val exited : t -> int -> bool
 val reload_retries : t -> int

@@ -55,6 +55,22 @@ let require_space t oid =
 let require_thread t oid =
   match find_thread t oid with Some th -> Ok th | None -> Error Stale_reference
 
+(* Space lookup on the object-load paths (load_thread, load_mapping),
+   through the injection plane: chaos site [stale.load] forces the exact
+   [Stale_reference] a concurrent space writeback would have produced, so
+   the application-kernel reload-and-retry protocol is exercised on
+   demand.  The retry after an injection observes [After_inject] and is
+   counted as the recovery, keeping inject/recover balanced. *)
+let require_space_for_load t oid =
+  match Fault_inject.stale_load t.fi with
+  | Fault_inject.Inject ->
+    Fault_inject.inject t.fi ~site:"stale.load";
+    Error Stale_reference
+  | Fault_inject.After_inject ->
+    Fault_inject.recover t.fi ~site:"stale.load";
+    require_space t oid
+  | Fault_inject.Pass -> require_space t oid
+
 let require_first t ~caller =
   if Oid.equal caller t.first_kernel then Ok () else Error Permission
 
@@ -263,7 +279,7 @@ let load_thread t ~caller ~space ~priority ?(affinity = None) ?(lock = false) ~t
     () =
   charge t Config.c_validate;
   let* k = require_kernel t caller in
-  let* sp = require_space t space in
+  let* sp = require_space_for_load t space in
   let* () =
     if Oid.equal sp.Space_obj.owner caller || Oid.equal caller t.first_kernel then Ok ()
     else Error Permission
@@ -366,7 +382,7 @@ let mapping ?(flags = Hw.Page_table.rw) ?signal_thread ?cow_dst ?(remote = false
 let load_mapping t ~caller ~space (spec : mapping_spec) =
   charge t (Config.c_validate + Config.c_access_check);
   let* k = require_kernel t caller in
-  let* sp = require_space t space in
+  let* sp = require_space_for_load t space in
   let* () =
     if Oid.equal sp.Space_obj.owner caller || Oid.equal caller t.first_kernel then Ok ()
     else Error Permission

@@ -11,6 +11,42 @@
    5.3 numbers reported by the benchmarks *emerge* from how many of these
    suboperations each kernel operation performs. *)
 
+(* Deterministic fault injection (DESIGN.md section 6, "Injection and
+   recovery").  All rates are probabilities in [0,1]; draws come from
+   per-site PRNG streams derived from [chaos_seed] in {!Fault_inject}, so
+   two runs with equal seeds and rates inject at identical points in the
+   simulation. *)
+type chaos = {
+  chaos_seed : int; (* root seed; each named site derives its own stream *)
+  io_fail : float; (* a backing-store transfer fails (retried with backoff) *)
+  io_delay : float; (* a backing-store transfer is delayed by [io_delay_us] *)
+  io_delay_us : float;
+  io_retry_backoff_us : float; (* base retry backoff; doubles per attempt *)
+  io_max_retries : int;
+  signal_drop : float; (* a signal delivery is dropped (redelivered later) *)
+  signal_dup : float; (* a signal delivery is duplicated *)
+  redeliver_backoff_us : float; (* delay before a dropped signal is redelivered *)
+  stale_rate : float; (* an object load observes a stale space identifier *)
+  forward_drop : float; (* a fault forward is dropped (the access refaults) *)
+  crash_at_us : float option; (* halt the whole MPM at this simulated time *)
+}
+
+let chaos_default =
+  {
+    chaos_seed = 42;
+    io_fail = 0.0;
+    io_delay = 0.0;
+    io_delay_us = 500.0;
+    io_retry_backoff_us = 200.0;
+    io_max_retries = 4;
+    signal_drop = 0.0;
+    signal_dup = 0.0;
+    redeliver_backoff_us = 50.0;
+    stale_rate = 0.0;
+    forward_drop = 0.0;
+    crash_at_us = None;
+  }
+
 type t = {
   (* Table 1: cache capacities *)
   kernel_cache : int;
@@ -40,6 +76,8 @@ type t = {
       (* use the per-processor reverse TLB for signal delivery; disabling
          it forces every signal through the two-stage physical-map lookup
          (the ablation of section 4.1's design choice) *)
+  (* fault injection *)
+  chaos : chaos option; (* None = injection plane disabled entirely *)
 }
 
 let default =
@@ -60,6 +98,7 @@ let default =
     max_locked_default = 8;
     trace_capacity = 65536;
     rtlb_enabled = true;
+    chaos = None;
   }
 
 (* Cycle costs of Cache Kernel suboperations (supervisor code sequences). *)

@@ -140,25 +140,35 @@ let handle_fault t (th : Thread_obj.t) (frame : Thread_obj.frame) (fault : Hw.Mm
       | None ->
         kill_thread t th
           (Fmt.str "unhandlable %a (no owning kernel)" Hw.Mmu.pp_fault fault)
-      | Some kernel ->
-        charge t Hw.Cost.exception_forward;
-        t.stats.Stats.faults_forwarded <- t.stats.Stats.faults_forwarded + 1;
-        count t "fault.forwarded";
-        trace t
-          (Trace.Forward_to_kernel
-             { thread = th.Thread_obj.oid; kernel = kernel.Kernel_obj.oid });
-        let ctx =
-          {
-            Kernel_obj.thread = th.Thread_obj.oid;
-            va = fault.Hw.Mmu.va;
-            access = fault.Hw.Mmu.access;
-            kind = fault.Hw.Mmu.kind;
-          }
-        in
-        push_handler t th ~kernel ~origin:Thread_obj.From_fault ~pushed_at:fault_t0
-          (fun () ->
-            kernel.Kernel_obj.handlers.Kernel_obj.on_fault ctx;
-            Hw.Exec.Unit_payload)
+      | Some kernel -> (
+        match Fault_inject.forward_drop t.fi with
+        | Fault_inject.Inject ->
+          (* chaos: the forward to the handling kernel is lost.  The paused
+             access below simply refaults on the thread's next step — the
+             natural retry, bounded by [max_fault_repeat] and by the plane's
+             no-consecutive-injection rule. *)
+          Fault_inject.inject t.fi ~site:"fault.forward"
+        | (Fault_inject.After_inject | Fault_inject.Pass) as d ->
+          if d = Fault_inject.After_inject then
+            Fault_inject.recover t.fi ~site:"fault.forward";
+          charge t Hw.Cost.exception_forward;
+          t.stats.Stats.faults_forwarded <- t.stats.Stats.faults_forwarded + 1;
+          count t "fault.forwarded";
+          trace t
+            (Trace.Forward_to_kernel
+               { thread = th.Thread_obj.oid; kernel = kernel.Kernel_obj.oid });
+          let ctx =
+            {
+              Kernel_obj.thread = th.Thread_obj.oid;
+              va = fault.Hw.Mmu.va;
+              access = fault.Hw.Mmu.access;
+              kind = fault.Hw.Mmu.kind;
+            }
+          in
+          push_handler t th ~kernel ~origin:Thread_obj.From_fault ~pushed_at:fault_t0
+            (fun () ->
+              kernel.Kernel_obj.handlers.Kernel_obj.on_fault ctx;
+              Hw.Exec.Unit_payload))
     end
   end
 

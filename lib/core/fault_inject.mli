@@ -1,0 +1,57 @@
+(** Deterministic fault-injection plane (DESIGN.md section 6, "Injection
+    and recovery").
+
+    Each named site draws from a private splitmix64 stream seeded
+    [Config.chaos_seed lxor hash site], so runs with equal configurations
+    inject at identical points and sites never perturb each other.  Sites
+    that force callers onto a retry path never inject twice in a row:
+    injected failures are transient, making single-retry recovery a
+    guaranteed-progress protocol rather than a hope. *)
+
+type t
+
+val create : Config.chaos option -> t
+(** [create chaos] builds the plane; [None] disables every site. *)
+
+val enabled : t -> bool
+
+val set_hooks : t -> on_inject:(string -> unit) -> on_recover:(string -> unit) -> unit
+(** Install the observability callbacks.  {!Instance.create} points these
+    at [inject.<site>] / [recover.<site>] metrics counters and
+    [Injected] / [Recovered] trace events. *)
+
+val inject : t -> site:string -> unit
+(** Report an injection at [site] through the installed hook. *)
+
+val recover : t -> site:string -> unit
+(** Report a recovery at [site] through the installed hook. *)
+
+(** Outcome of a retry-path site: [Inject] fail this attempt (the site is
+    now pending), [After_inject] the previous attempt here was injected
+    and this retry must succeed (the recovery moment), [Pass] nothing. *)
+type decision = Inject | After_inject | Pass
+
+val decide : t -> site:string -> rate:float -> decision
+
+val stale_load : t -> decision
+(** Site [stale.load]: an object load observes a stale space identifier. *)
+
+val forward_drop : t -> decision
+(** Site [fault.forward]: a fault forward to the handling kernel is lost;
+    the paused access refaults and the retry forwards successfully. *)
+
+val io_fate : t -> [ `Ok | `Ok_after_fail | `Fail | `Delay of float ]
+(** Site [bstore]: fate of one backing-store transfer attempt.
+    [`Ok_after_fail] is the retry after a [`Fail] (always succeeds);
+    [`Delay us] completes on its own after an extra [us] microseconds. *)
+
+val signal_fate : t -> [ `Deliver | `Drop | `Duplicate ]
+(** Site [signal]: fate of one signal delivery. *)
+
+val io_max_retries : t -> int
+val io_retry_backoff_us : t -> float
+val redeliver_backoff_us : t -> float
+
+val take_crash_at_us : t -> float option
+(** One-shot: the simulated time (us) at which to crash the MPM, if
+    configured and not yet taken. *)

@@ -15,6 +15,7 @@ type t = {
   trace : Trace.t;
   stats : Stats.t;
   metrics : Metrics.t;
+  fi : Fault_inject.t; (* deterministic fault-injection plane *)
   mutable first_kernel : Oid.t; (* the system resource manager's kernel *)
   running : Oid.t option array; (* per-CPU current thread *)
   mutable active_cpu : int; (* CPU whose thread is executing right now *)
@@ -27,27 +28,6 @@ type t = {
       (* physical page -> callback(offset): Cache Kernel device drivers
          observing message-mode writes to device regions (section 2.2) *)
 }
-
-let create ?(config = Config.default) node =
-  {
-    node;
-    config;
-    kernels = Caches.Kernel_cache.create ~capacity:config.Config.kernel_cache;
-    spaces = Caches.Space_cache.create ~capacity:config.Config.space_cache;
-    threads = Caches.Thread_cache.create ~capacity:config.Config.thread_cache;
-    mappings = Mappings.create ~capacity:config.Config.mapping_cache;
-    sched = Scheduler.create ~priorities:config.Config.priorities;
-    trace = Trace.create ~capacity:config.Config.trace_capacity ();
-    stats = Stats.create ();
-    metrics = Metrics.create ();
-    first_kernel = Oid.none;
-    running = Array.make (Hw.Mpm.n_cpus node) None;
-    active_cpu = 0;
-    current_thread = None;
-    quota_epoch_start = 0;
-    halted = false;
-    device_hooks = Hashtbl.create 8;
-  }
 
 let node_id t = t.node.Hw.Mpm.node_id
 let n_cpus t = Hw.Mpm.n_cpus t.node
@@ -63,6 +43,89 @@ let charge t c = Hw.Cpu.charge (cpu t) c
 let now t = (cpu t).Hw.Cpu.local_time
 
 let trace t event = Trace.record t.trace ~time:(now t) event
+
+(** MPM hardware failure (chaos site [node.crash]): halt the node and lose
+    every piece of volatile supervisor state — the four object caches, the
+    TLBs, the per-CPU running table — *without* writeback.  Unloading each
+    descriptor bumps its slot generation, so every identifier issued before
+    the crash is stale afterwards.  Physical memory frames are not
+    scrubbed: in this model the application kernels' own records plus the
+    backing store play the role of the writeback images the SRM restarts
+    from ({!Srm.Manager.restart_node}). *)
+let crash t =
+  if not t.halted then begin
+    Fault_inject.inject t.fi ~site:"node.crash";
+    t.halted <- true;
+    Array.fill t.running 0 (Array.length t.running) None;
+    t.current_thread <- None;
+    let ths =
+      Caches.Thread_cache.fold t.threads
+        (fun acc (th : Thread_obj.t) -> th.Thread_obj.oid :: acc)
+        []
+    in
+    List.iter (fun oid -> ignore (Caches.Thread_cache.unload t.threads oid)) ths;
+    let ms = ref [] in
+    Mappings.iter t.mappings (fun m -> ms := m :: !ms);
+    List.iter
+      (fun (m : Mappings.m) ->
+        Mappings.remove t.mappings ~space_slot:m.Mappings.space.Oid.slot m)
+      !ms;
+    let sps =
+      Caches.Space_cache.fold t.spaces
+        (fun acc (sp : Space_obj.t) -> sp.Space_obj.oid :: acc)
+        []
+    in
+    List.iter (fun oid -> ignore (Caches.Space_cache.unload t.spaces oid)) sps;
+    let ks =
+      Caches.Kernel_cache.fold t.kernels
+        (fun acc (k : Kernel_obj.t) -> k.Kernel_obj.oid :: acc)
+        []
+    in
+    List.iter (fun oid -> ignore (Caches.Kernel_cache.unload t.kernels oid)) ks;
+    t.first_kernel <- Oid.none;
+    Array.iter
+      (fun (c : Hw.Cpu.t) ->
+        Hw.Tlb.flush_all c.Hw.Cpu.tlb;
+        Hw.Rtlb.flush_all c.Hw.Cpu.rtlb)
+      t.node.Hw.Mpm.cpus
+    (* ready-queue entries are left in place: every queued identifier is
+       now stale and the scheduler drops stale entries on scan *)
+  end
+
+let create ?(config = Config.default) node =
+  let t =
+    {
+      node;
+      config;
+      kernels = Caches.Kernel_cache.create ~capacity:config.Config.kernel_cache;
+      spaces = Caches.Space_cache.create ~capacity:config.Config.space_cache;
+      threads = Caches.Thread_cache.create ~capacity:config.Config.thread_cache;
+      mappings = Mappings.create ~capacity:config.Config.mapping_cache;
+      sched = Scheduler.create ~priorities:config.Config.priorities;
+      trace = Trace.create ~capacity:config.Config.trace_capacity ();
+      stats = Stats.create ();
+      metrics = Metrics.create ();
+      fi = Fault_inject.create config.Config.chaos;
+      first_kernel = Oid.none;
+      running = Array.make (Hw.Mpm.n_cpus node) None;
+      active_cpu = 0;
+      current_thread = None;
+      quota_epoch_start = 0;
+      halted = false;
+      device_hooks = Hashtbl.create 8;
+    }
+  in
+  Fault_inject.set_hooks t.fi
+    ~on_inject:(fun site ->
+      Metrics.incr t.metrics ("inject." ^ site);
+      trace t (Trace.Injected { site }))
+    ~on_recover:(fun site ->
+      Metrics.incr t.metrics ("recover." ^ site);
+      trace t (Trace.Recovered { site }));
+  (match Fault_inject.take_crash_at_us t.fi with
+  | Some us -> Hw.Mpm.at node ~time:(Hw.Cost.cycles_of_us us) (fun () -> crash t)
+  | None -> ());
+  t
 
 (* Observability recording: counts and observes but never charges cycles,
    so instrumentation cannot perturb the cost model (DESIGN.md section 7). *)

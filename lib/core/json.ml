@@ -34,9 +34,10 @@ let escape_string b s =
   Buffer.add_char b '"'
 
 (* Floats print with enough digits to round-trip, and always with a '.' or
-   exponent so the parser reads them back as [Float], not [Int]. *)
+   exponent so the parser reads them back as [Float], not [Int].  JSON has
+   no NaN or infinity, so both serialise as null. *)
 let float_repr f =
-  if Float.is_nan f then "null"
+  if not (Float.is_finite f) then "null"
   else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
   else
     let s = Printf.sprintf "%.17g" f in
@@ -177,12 +178,52 @@ let of_string s =
           | 't' ->
             Buffer.add_char b '\t';
             loop ()
+          | 'b' ->
+            Buffer.add_char b '\b';
+            loop ()
+          | 'f' ->
+            Buffer.add_char b '\012';
+            loop ()
           | 'u' ->
-            if !pos + 4 > n then fail "bad \\u escape";
-            let code = int_of_string ("0x" ^ String.sub s !pos 4) in
-            pos := !pos + 4;
-            if code < 0x80 then Buffer.add_char b (Char.chr code)
-            else Buffer.add_string b (Printf.sprintf "\\u%04x" code);
+            let hex4 () =
+              if !pos + 4 > n then fail "bad \\u escape";
+              match int_of_string_opt ("0x" ^ String.sub s !pos 4) with
+              | None -> fail "bad \\u escape"
+              | Some code ->
+                pos := !pos + 4;
+                code
+            in
+            let code = hex4 () in
+            let cp =
+              if code >= 0xD800 && code <= 0xDBFF then begin
+                (* high surrogate: the low half must follow immediately *)
+                if !pos + 2 > n || s.[!pos] <> '\\' || s.[!pos + 1] <> 'u' then
+                  fail "unpaired surrogate";
+                pos := !pos + 2;
+                let low = hex4 () in
+                if low < 0xDC00 || low > 0xDFFF then fail "unpaired surrogate";
+                0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+              end
+              else if code >= 0xDC00 && code <= 0xDFFF then fail "unpaired surrogate"
+              else code
+            in
+            (* emit the codepoint as UTF-8 bytes *)
+            if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+            else if cp < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+            end
+            else if cp < 0x10000 then begin
+              Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+              Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+            end;
             loop ()
           | _ -> fail "bad escape")
         | c ->

@@ -21,9 +21,9 @@ let tag_of (oid : Oid.t) = oid.Oid.slot lor (oid.Oid.gen lsl 16)
 let slot_of_tag tag = tag land 0xFFFF
 let gen_of_tag tag = tag lsr 16
 
-(** Deliver signal address [va] to thread [th].  Returns true if the thread
-    was woken (vs queued). *)
-let deliver_to t (th : Thread_obj.t) ~va ~fast_path =
+(* Delivery proper, past the injection plane.  Returns true if the thread
+   was woken (vs queued). *)
+let deliver_now t (th : Thread_obj.t) ~va ~fast_path =
   trace t (Trace.Signal_delivered { thread = th.Thread_obj.oid; va; fast_path });
   if fast_path then t.stats.Stats.signals_fast <- t.stats.Stats.signals_fast + 1
   else t.stats.Stats.signals_slow <- t.stats.Stats.signals_slow + 1;
@@ -57,6 +57,34 @@ let deliver_to t (th : Thread_obj.t) ~va ~fast_path =
     t.stats.Stats.signals_dropped <- t.stats.Stats.signals_dropped + 1;
     count t "signal.dropped";
     false
+
+(* Chaos recovery: a dropped delivery was scheduled for redelivery on the
+   node's event queue; by the time it fires the receiver may have been
+   written back, in which case the drop is permanent — exactly the at-most-
+   once property RPC's sequence numbers exist to paper over. *)
+let redeliver t oid ~va =
+  match find_thread t oid with
+  | None -> ()
+  | Some th ->
+    Fault_inject.recover t.fi ~site:"signal.drop";
+    ignore (deliver_now t th ~va ~fast_path:false)
+
+(** Deliver signal address [va] to thread [th], through the injection
+    plane: a delivery may be dropped (redelivered once after a backoff) or
+    duplicated.  Returns true if the thread was woken (vs queued). *)
+let deliver_to t (th : Thread_obj.t) ~va ~fast_path =
+  match Fault_inject.signal_fate t.fi with
+  | `Deliver -> deliver_now t th ~va ~fast_path
+  | `Drop ->
+    Fault_inject.inject t.fi ~site:"signal.drop";
+    let oid = th.Thread_obj.oid in
+    let delay = Hw.Cost.cycles_of_us (Fault_inject.redeliver_backoff_us t.fi) in
+    Hw.Mpm.after t.node ~delay (fun () -> redeliver t oid ~va);
+    false
+  | `Duplicate ->
+    Fault_inject.inject t.fi ~site:"signal.dup";
+    ignore (deliver_now t th ~va ~fast_path);
+    deliver_now t th ~va ~fast_path
 
 (* Validate a reverse-TLB hit: the thread generation must still match and
    the mapping must still designate it as a signal thread.  The mapping

@@ -29,6 +29,8 @@ type event =
   | Thread_dispatched of { thread : Oid.t; cpu : int }
   | Quota_exceeded of { kernel : Oid.t; cpu : int }
   | Consistency_flush of { pfn : int }
+  | Injected of { site : string }
+  | Recovered of { site : string }
   | Custom of string
 
 let pp_event ppf = function
@@ -59,6 +61,8 @@ let pp_event ppf = function
   | Quota_exceeded { kernel; cpu } ->
     Fmt.pf ppf "quota-exceeded %a cpu%d" Oid.pp kernel cpu
   | Consistency_flush { pfn } -> Fmt.pf ppf "consistency-flush pfn=%d" pfn
+  | Injected { site } -> Fmt.pf ppf "inject %s" site
+  | Recovered { site } -> Fmt.pf ppf "recover %s" site
   | Custom s -> Fmt.string ppf s
 
 let event_name = function
@@ -78,6 +82,8 @@ let event_name = function
   | Thread_dispatched _ -> "thread_dispatched"
   | Quota_exceeded _ -> "quota_exceeded"
   | Consistency_flush _ -> "consistency_flush"
+  | Injected _ -> "injected"
+  | Recovered _ -> "recovered"
   | Custom _ -> "custom"
 
 let event_fields ev =
@@ -103,6 +109,8 @@ let event_fields ev =
   | Thread_dispatched { thread; cpu } -> [ oid "thread" thread; ("cpu", Json.Int cpu) ]
   | Quota_exceeded { kernel; cpu } -> [ oid "kernel" kernel; ("cpu", Json.Int cpu) ]
   | Consistency_flush { pfn } -> [ ("pfn", Json.Int pfn) ]
+  | Injected { site } -> [ ("site", Json.String site) ]
+  | Recovered { site } -> [ ("site", Json.String site) ]
   | Custom s -> [ ("text", Json.String s) ]
 
 type entry = { time : Hw.Cost.cycles; event : event }

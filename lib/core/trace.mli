@@ -23,6 +23,8 @@ type event =
   | Thread_dispatched of { thread : Oid.t; cpu : int }
   | Quota_exceeded of { kernel : Oid.t; cpu : int }
   | Consistency_flush of { pfn : int }
+  | Injected of { site : string }
+  | Recovered of { site : string }
   | Custom of string
 
 val pp_event : event Fmt.t

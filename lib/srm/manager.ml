@@ -147,6 +147,39 @@ let swap_in_kernel t l =
         l.loaded <- true;
         Ok ())
 
+(** Rebuild a crashed node (experiment X3).  The MPM halted and lost all
+    of its descriptor caches ({!Instance.crash}); what survives is the
+    state held in the application kernels' own records and backing store —
+    the writeback images.  The SRM (whose host-side state plays the role
+    of stable storage, like [swap_out_kernel]'s) brings the node back:
+    re-boot its own kernel as the first kernel, then swap every launched
+    kernel back in through the ordinary swap-in path, which reloads kernel
+    objects, spaces and written-back threads.  Threads that were loaded at
+    the instant of the crash restart fresh from their bodies — work since
+    their last writeback is lost, exactly the paper's recovery contract. *)
+let restart_node t =
+  if not t.inst.Instance.halted then Error (Api.Bad_argument "node has not crashed")
+  else begin
+    t.inst.Instance.halted <- false;
+    App_kernel.mark_crashed t.ak;
+    List.iter
+      (fun l ->
+        l.loaded <- false;
+        App_kernel.mark_crashed l.ak)
+      t.kernels;
+    match App_kernel.reboot_first t.ak with
+    | Error e -> Error e
+    | Ok _koid ->
+      let rec bring = function
+        | [] ->
+          Fault_inject.recover t.inst.Instance.fi ~site:"node.crash";
+          Ok ()
+        | l :: rest -> (
+          match swap_in_kernel t l with Error e -> Error e | Ok () -> bring rest)
+      in
+      bring (List.rev t.kernels)
+  end
+
 (* -- I/O rate policing (section 4.3) -- *)
 
 let register_tap t ~name ~quota_per_epoch ~counter ~disconnect ~reconnect =

@@ -63,6 +63,12 @@ val swap_in_kernel : t -> launched -> (unit, Api.error) result
 (** Reload the kernel object (new identifier), rebind its space, reload its
     threads. *)
 
+val restart_node : t -> (unit, Api.error) result
+(** Rebuild a crashed ({!Instance.crash}) node from writeback images:
+    re-boot the SRM's kernel as the first kernel, then swap every launched
+    kernel back in.  Threads loaded at the instant of the crash restart
+    fresh; written-back state is restored (experiment X3). *)
+
 val register_tap :
   t ->
   name:string ->

@@ -194,20 +194,20 @@ let test_rpc_roundtrip () =
     match !r with Some id -> Thread_lib.oid_of ak.App_kernel.threads id | None -> None
   in
   let client_conn =
-    {
-      Rpc.req = Channel.attach mgr client_sp req_sh ~va:0x50000000 ~role:`Sender;
-      rsp =
-        Channel.attach mgr client_sp rsp_sh ~va:0x50800000
-          ~role:(`Receiver (oid_of client_tid));
-    }
+    Rpc.conn
+      ~req:(Channel.attach mgr client_sp req_sh ~va:0x50000000 ~role:`Sender)
+      ~rsp:
+        (Channel.attach mgr client_sp rsp_sh ~va:0x50800000
+           ~role:(`Receiver (oid_of client_tid)))
+      ()
   in
   let server_conn =
-    {
-      Rpc.req =
-        Channel.attach mgr server_sp req_sh ~va:0x60000000
-          ~role:(`Receiver (oid_of server_tid));
-      rsp = Channel.attach mgr server_sp rsp_sh ~va:0x60800000 ~role:`Sender;
-    }
+    Rpc.conn
+      ~req:
+        (Channel.attach mgr server_sp req_sh ~va:0x60000000
+           ~role:(`Receiver (oid_of server_tid)))
+      ~rsp:(Channel.attach mgr server_sp rsp_sh ~va:0x60800000 ~role:`Sender)
+      ()
   in
   let got = ref [] in
   let client () =
