@@ -4,9 +4,11 @@
      info   — print the configuration (Table 1) and the cost model
      run    — boot a UNIX emulator, run a small process tree, print stats
               (the default command; --metrics-out/--trace-out export the
-              observability layer's JSON)
+              observability layer's JSON; --audit runs the invariant
+              auditor afterwards and fails on unrepaired violations)
      trace  — run one demand-paged program with the event trace enabled
-     micro  — print the Table 2 micro-benchmark rows *)
+     micro  — print the Table 2 micro-benchmark rows
+     audit  — run a workload, then audit every cross-layer invariant *)
 
 open Cmdliner
 open Cachekernel
@@ -76,7 +78,18 @@ let print_chaos_balance inst =
       if i > 0 || r > 0 then Fmt.pr "  %-14s inject %5d   recover %5d@." site i r)
     chaos_sites
 
-let run_workload cpus procs chaos chaos_seed metrics_out trace_out =
+(* Post-run invariant audit (with repair).  Exits nonzero if anything the
+   repair pass could not fix remains — the CI chaos jobs rely on this. *)
+let run_audit inst ~audit_out =
+  let report = Audit.run ~repair:true inst in
+  Fmt.pr "%a@." Audit.pp_report report;
+  Option.iter (fun path -> write_json path "audit report" (Audit.report_json report)) audit_out;
+  if Audit.unrepaired report <> [] then begin
+    Fmt.epr "ckos: audit found unrepaired invariant violations@.";
+    Stdlib.exit 1
+  end
+
+let run_workload cpus procs chaos chaos_seed audit audit_out metrics_out trace_out =
   let config =
     { Config.default with Config.chaos = chaos_config ~rate:chaos ~seed:chaos_seed }
   in
@@ -110,7 +123,8 @@ let run_workload cpus procs chaos chaos_seed metrics_out trace_out =
   Fmt.pr "space accounting:@.  @[<v>%a@]@." Space_accounting.pp
     (Space_accounting.measure inst);
   if chaos > 0.0 then print_chaos_balance inst;
-  export_observability inst ~metrics_out ~trace_out
+  export_observability inst ~metrics_out ~trace_out;
+  if audit || audit_out <> None then run_audit inst ~audit_out
 
 let show_trace metrics_out trace_out =
   let inst = Workload.Setup.instance ~cpus:1 () in
@@ -155,6 +169,21 @@ let trace_out =
     & info [ "trace-out" ] ~docv:"FILE"
         ~doc:"Enable tracing and write the bounded event trace as JSON.")
 
+let audit_flag =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:
+          "After the run, audit every cross-layer invariant (with repair) and \
+           exit nonzero if unrepaired violations remain.")
+
+let audit_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "audit-out" ] ~docv:"FILE"
+        ~doc:"Write the post-run audit report as JSON (implies $(b,--audit)).")
+
 let run_term =
   let cpus = Arg.(value & opt int 4 & info [ "cpus" ] ~doc:"CPUs per MPM.") in
   let procs = Arg.(value & opt int 4 & info [ "procs" ] ~doc:"Processes to run.") in
@@ -173,9 +202,39 @@ let run_term =
       & opt int 42
       & info [ "chaos-seed" ] ~docv:"N" ~doc:"Seed for the fault-injection PRNG streams.")
   in
-  Term.(const run_workload $ cpus $ procs $ chaos $ chaos_seed $ metrics_out $ trace_out)
+  Term.(
+    const run_workload $ cpus $ procs $ chaos $ chaos_seed $ audit_flag $ audit_out
+    $ metrics_out $ trace_out)
 
 let run_cmd = Cmd.v (Cmd.info "run" ~doc:"Run a UNIX workload and print statistics") run_term
+
+(* `ckos audit`: the run workload with the audit always on. *)
+let audit_term =
+  let cpus = Arg.(value & opt int 4 & info [ "cpus" ] ~doc:"CPUs per MPM.") in
+  let procs = Arg.(value & opt int 4 & info [ "procs" ] ~doc:"Processes to run.") in
+  let chaos =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "chaos" ] ~docv:"RATE"
+          ~doc:"Enable deterministic fault injection at the given per-site rate.")
+  in
+  let chaos_seed =
+    Arg.(
+      value
+      & opt int 42
+      & info [ "chaos-seed" ] ~docv:"N" ~doc:"Seed for the fault-injection PRNG streams.")
+  in
+  Term.(
+    const (fun cpus procs chaos seed audit_out metrics_out trace_out ->
+        run_workload cpus procs chaos seed true audit_out metrics_out trace_out)
+    $ cpus $ procs $ chaos $ chaos_seed $ audit_out $ metrics_out $ trace_out)
+
+let audit_cmd =
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Run a workload, then audit every cross-layer invariant (with repair)")
+    audit_term
 
 let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc:"Trace the Figure 2 fault protocol")
@@ -190,4 +249,4 @@ let () =
        (Cmd.group
           ~default:run_term (* `ckos --metrics-out m.json` runs the workload *)
           (Cmd.info "ckos" ~doc:"Cache Kernel (OSDI '94) reproduction inspector")
-          [ info_cmd; run_cmd; trace_cmd; micro_cmd ]))
+          [ info_cmd; run_cmd; trace_cmd; micro_cmd; audit_cmd ]))

@@ -1,0 +1,26 @@
+(* Bounded exponential backoff against writeback-storm backpressure.
+
+   When the Cache Kernel detects a writeback storm (displacement rate over
+   a window above the configured threshold) it rejects further loads with
+   [Api.Overloaded] rather than letting kernels thrash each other's
+   working sets out of the descriptor caches.  A well-behaved application
+   kernel responds by waiting — the simulated analogue of spinning in a
+   timed sleep — and retrying: each attempt doubles the wait, bounded by
+   [Config.overload_max_retries].  Storms are transient (the window rolls
+   and displacements drain), so the retry usually succeeds; a kernel that
+   exhausts its retries surfaces [Overloaded] to its own policy layer. *)
+
+open Cachekernel
+
+let with_backoff (inst : Instance.t) (f : unit -> ('a, Api.error) result) =
+  let c = inst.Instance.config in
+  let rec go attempt =
+    match f () with
+    | Error Api.Overloaded when attempt < c.Config.overload_max_retries ->
+      Instance.count inst "overload.backoff";
+      let delay_us = c.Config.overload_backoff_us *. (2.0 ** float_of_int attempt) in
+      Instance.charge inst (Hw.Cost.cycles_of_us delay_us);
+      go (attempt + 1)
+    | r -> r
+  in
+  go 0

@@ -1,0 +1,13 @@
+(** Bounded exponential backoff against writeback-storm backpressure.
+
+    Retries an operation that the Cache Kernel rejected with
+    {!Cachekernel.Api.Overloaded}, waiting
+    [Config.overload_backoff_us * 2^attempt] simulated microseconds
+    between attempts, up to [Config.overload_max_retries] retries.  Every
+    retry counts an [overload.backoff] metric.  Any other result — success
+    or a different error — is returned immediately. *)
+
+open Cachekernel
+
+val with_backoff :
+  Instance.t -> (unit -> ('a, Api.error) result) -> ('a, Api.error) result

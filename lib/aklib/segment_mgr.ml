@@ -111,7 +111,10 @@ let stats t = t.stats
 let create_space t =
   let tag = t.next_space_tag in
   t.next_space_tag <- tag + 1;
-  match Api.load_space t.env.inst ~caller:(t.env.kernel ()) ~tag () with
+  match
+    Backoff.with_backoff t.env.inst (fun () ->
+        Api.load_space t.env.inst ~caller:(t.env.kernel ()) ~tag ())
+  with
   | Ok oid ->
     let vsp = { tag; oid; regions = []; loaded = true } in
     Hashtbl.replace t.spaces tag vsp;
@@ -140,7 +143,10 @@ let region_of vsp va = List.find_opt (fun r -> Region.contains r va) vsp.regions
 let reload_space t vsp =
   if vsp.loaded then Ok vsp.oid
   else
-    match Api.load_space t.env.inst ~caller:(t.env.kernel ()) ~tag:vsp.tag () with
+    match
+      Backoff.with_backoff t.env.inst (fun () ->
+          Api.load_space t.env.inst ~caller:(t.env.kernel ()) ~tag:vsp.tag ())
+    with
     | Ok oid ->
       vsp.oid <- oid;
       vsp.loaded <- true;
@@ -303,8 +309,13 @@ let load_map t vsp (region : Region.t) ~va ~pfn ?cow_dst ~writable ~resume () =
       ?signal_thread:(region.Region.signal_thread ())
       ?cow_dst ()
   in
-  let load =
+  let load_raw =
     if resume then Api.load_mapping_and_resume else Api.load_mapping
+  in
+  (* Back off under storm backpressure at every load attempt: mapping loads
+     are the high-rate path where thrashing kernels do their damage. *)
+  let load inst ~caller ~space spec =
+    Backoff.with_backoff t.env.inst (fun () -> load_raw inst ~caller ~space spec)
   in
   match load t.env.inst ~caller:(t.env.kernel ()) ~space:vsp.oid spec with
   | Ok () -> Ok ()

@@ -44,8 +44,9 @@ let load_entry t (e : entry) ~start =
     match t.space_oid e.space_tag with
     | Error err -> Error err
     | Ok space ->
-      Api.load_thread t.inst ~caller:(t.kernel ()) ~space ~priority:e.priority
-        ~affinity:e.affinity ~lock:e.lock ~tag:e.id ~start ()
+      Backoff.with_backoff t.inst (fun () ->
+          Api.load_thread t.inst ~caller:(t.kernel ()) ~space ~priority:e.priority
+            ~affinity:e.affinity ~lock:e.lock ~tag:e.id ~start ())
   in
   match load () with
   | Ok oid ->

@@ -23,6 +23,7 @@ type error =
   | Busy (* object in use by the calling thread itself *)
   | No_victim (* every descriptor is locked: nothing can be displaced *)
   | Already_mapped (* a mapping for that page is already loaded *)
+  | Overloaded (* writeback storm: load rejected, back off and retry *)
   | Bad_argument of string
 
 let pp_error ppf = function
@@ -33,6 +34,7 @@ let pp_error ppf = function
   | Busy -> Fmt.string ppf "object busy"
   | No_victim -> Fmt.string ppf "all descriptors locked"
   | Already_mapped -> Fmt.string ppf "already mapped"
+  | Overloaded -> Fmt.string ppf "overloaded: writeback storm backpressure"
   | Bad_argument s -> Fmt.pf ppf "bad argument: %s" s
 
 let ( let* ) = Result.bind
@@ -73,6 +75,17 @@ let require_space_for_load t oid =
 
 let require_first t ~caller =
   if Oid.equal caller t.first_kernel then Ok () else Error Permission
+
+(* Overload backpressure: while the writeback-storm detector is raised,
+   a load that would displace a victim is rejected instead of feeding the
+   storm; the application kernel backs off and retries.  The first kernel
+   is exempt — the SRM must stay able to act during overload. *)
+let overload_guard t ~caller ~full =
+  if full && (not (Oid.equal caller t.first_kernel)) && storm_active t then begin
+    count t "overload.rejected";
+    Error Overloaded
+  end
+  else Ok ()
 
 (* -- Kernel objects (section 2.4) -- *)
 
@@ -238,6 +251,7 @@ let load_space t ~caller ?(lock = false) ~tag () =
   let* k = require_kernel t caller in
   let* () = if lock then lock_budget t k else Ok () in
   let had_writeback = Caches.Space_cache.is_full t.spaces in
+  let* () = overload_guard t ~caller ~full:had_writeback in
   if had_writeback && not (Replacement.make_room_space t) then Error No_victim
   else begin
     let sp = Space_obj.create ~owner:caller ~tag in
@@ -290,6 +304,7 @@ let load_thread t ~caller ~space ~priority ?(affinity = None) ?(lock = false) ~t
   in
   let* () = if lock then lock_budget t k else Ok () in
   let had_writeback = Caches.Thread_cache.is_full t.threads in
+  let* () = overload_guard t ~caller ~full:had_writeback in
   if had_writeback && not (Replacement.make_room_thread t) then Error No_victim
   else begin
     let th = Thread_obj.create ~owner:caller ~space ~tag ~priority ~start in
@@ -414,6 +429,7 @@ let load_mapping t ~caller ~space (spec : mapping_spec) =
     else Error Already_mapped
   in
   let had_writeback = Mappings.is_full t.mappings in
+  let* () = overload_guard t ~caller ~full:had_writeback in
   if had_writeback && not (Replacement.make_room_mapping t) then Error No_victim
   else begin
     (* Deferred copy: map the source read-only; the copy into the

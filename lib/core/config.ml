@@ -78,6 +78,22 @@ type t = {
          (the ablation of section 4.1's design choice) *)
   (* fault injection *)
   chaos : chaos option; (* None = injection plane disabled entirely *)
+  (* robustness: auditing, overload backpressure, forwarding watchdog *)
+  audit_interval_us : float;
+      (* periodic invariant audit from the engine, simulated us between
+         runs; 0 disables the periodic audit (on-demand and end-of-chaos
+         audits are unaffected) *)
+  storm_threshold : int;
+      (* writeback-storm detector: displacements per [storm_window_us]
+         window above which new loads get [Overloaded] backpressure;
+         0 disables the detector *)
+  storm_window_us : float; (* width of the displacement-rate window *)
+  forward_deadline_us : float;
+      (* Figure-2 watchdog: a forwarded fault unresolved after this many
+         simulated us is re-forwarded once, then escalated to the SRM as a
+         misbehaving kernel; 0 disables the watchdog *)
+  overload_backoff_us : float; (* aklib base backoff on [Overloaded]; doubles *)
+  overload_max_retries : int; (* aklib retry budget before surfacing the error *)
 }
 
 let default =
@@ -99,6 +115,12 @@ let default =
     trace_capacity = 65536;
     rtlb_enabled = true;
     chaos = None;
+    audit_interval_us = 0.0;
+    storm_threshold = 0;
+    storm_window_us = 500.0;
+    forward_deadline_us = 0.0;
+    overload_backoff_us = 200.0;
+    overload_max_retries = 5;
   }
 
 (* Cycle costs of Cache Kernel suboperations (supervisor code sequences). *)

@@ -53,7 +53,8 @@ let thread_exited t (th : Thread_obj.t) =
 
 (* Push an application-kernel handler frame onto the thread and start it.
    The handler body runs with the instance's active CPU set, so direct API
-   calls it makes are charged to the right processor. *)
+   calls it makes are charged to the right processor.  Returns the frame,
+   so the forwarding watchdog can later test whether it is still pending. *)
 let push_handler t (th : Thread_obj.t) ~(kernel : Kernel_obj.t) ~origin ~pushed_at body =
   th.Thread_obj.fault_depth <- th.Thread_obj.fault_depth + 1;
   let frame =
@@ -64,7 +65,49 @@ let push_handler t (th : Thread_obj.t) ~(kernel : Kernel_obj.t) ~origin ~pushed_
   frame.Thread_obj.pushed_at <- pushed_at;
   Thread_obj.push_frame th frame;
   trace t (Trace.Handler_running { thread = th.Thread_obj.oid });
-  frame.Thread_obj.status <- Hw.Exec.start body
+  frame.Thread_obj.status <- Hw.Exec.start body;
+  frame
+
+(* Figure-2 forwarding watchdog: a forwarded fault must resolve — its
+   handler frame popped — within [Config.forward_deadline_us] of the
+   forward.  On the first expiry the fault is re-forwarded once (the
+   handler may have wedged or lost the work); on the second the owning
+   kernel is reported to the SRM as misbehaving ({!Instance.t.on_misbehaving})
+   and the faulting thread is killed rather than left hung forever. *)
+let rec arm_forward_watchdog t (th : Thread_obj.t) frame ~(kernel : Kernel_obj.t) ~body
+    ~retried =
+  let deadline_us = t.config.Config.forward_deadline_us in
+  if deadline_us > 0.0 then begin
+    let thread_oid = th.Thread_obj.oid in
+    Hw.Mpm.after t.node ~delay:(Hw.Cost.cycles_of_us deadline_us) (fun () ->
+        let still_pending =
+          match find_thread t thread_oid with
+          | Some th' -> th' == th && List.memq frame th.Thread_obj.frames
+          | None -> false
+        in
+        if still_pending then
+          if not retried then begin
+            count t "watchdog.reforward";
+            trace t (Trace.Forward_timeout { thread = thread_oid; escalated = false });
+            charge t Hw.Cost.exception_forward;
+            let frame' =
+              push_handler t th ~kernel ~origin:Thread_obj.From_fault
+                ~pushed_at:(Hw.Mpm.now t.node) body
+            in
+            (* a handler stuck in wait-signal holds the thread Blocked; the
+               re-forwarded frame sits on top, so wake the thread to run it *)
+            (match th.Thread_obj.state with
+            | Thread_obj.Blocked _ -> make_ready t th
+            | _ -> ());
+            arm_forward_watchdog t th frame' ~kernel ~body ~retried:true
+          end
+          else begin
+            count t "watchdog.escalation";
+            trace t (Trace.Forward_timeout { thread = thread_oid; escalated = true });
+            t.on_misbehaving ~kernel:kernel.Kernel_obj.oid ~thread:thread_oid;
+            kill_thread t th "forwarded fault unresolved after re-forward (watchdog)"
+          end)
+  end
 
 (** Figure 2 steps 1-3: trap to the Cache Kernel, switch the thread onto
     its application kernel's exception handler. *)
@@ -165,10 +208,15 @@ let handle_fault t (th : Thread_obj.t) (frame : Thread_obj.frame) (fault : Hw.Mm
               kind = fault.Hw.Mmu.kind;
             }
           in
-          push_handler t th ~kernel ~origin:Thread_obj.From_fault ~pushed_at:fault_t0
-            (fun () ->
-              kernel.Kernel_obj.handlers.Kernel_obj.on_fault ctx;
-              Hw.Exec.Unit_payload))
+          let body () =
+            kernel.Kernel_obj.handlers.Kernel_obj.on_fault ctx;
+            Hw.Exec.Unit_payload
+          in
+          let hframe =
+            push_handler t th ~kernel ~origin:Thread_obj.From_fault ~pushed_at:fault_t0
+              body
+          in
+          arm_forward_watchdog t th hframe ~kernel ~body ~retried:false)
     end
   end
 
@@ -242,8 +290,9 @@ let do_trap t (th : Thread_obj.t) (frame : Thread_obj.frame) p k =
         trace t
           (Trace.Trap_forwarded
              { thread = th.Thread_obj.oid; kernel = kernel.Kernel_obj.oid });
-        push_handler t th ~kernel ~origin:Thread_obj.From_trap ~pushed_at:trap_t0
-          (fun () -> kernel.Kernel_obj.handlers.Kernel_obj.on_trap th.Thread_obj.oid p)))
+        ignore
+          (push_handler t th ~kernel ~origin:Thread_obj.From_trap ~pushed_at:trap_t0
+             (fun () -> kernel.Kernel_obj.handlers.Kernel_obj.on_trap th.Thread_obj.oid p))))
 
 (* Completion of the top frame.  A handler frame's result value feeds the
    trap continuation below it; a faulted access below simply retries. *)
@@ -375,6 +424,15 @@ let roll_quota_epoch t ~now_cycles =
     t.quota_epoch_start <- now_cycles
   end
 
+(* Periodic self-audit (repairing), every [Config.audit_interval_us] of
+   simulated time; 0 disables it. *)
+let maybe_audit t ~now_cycles =
+  let iv = t.config.Config.audit_interval_us in
+  if iv > 0.0 && now_cycles - t.last_audit >= Hw.Cost.cycles_of_us iv then begin
+    t.last_audit <- now_cycles;
+    ignore (Audit.run ~repair:true t)
+  end
+
 let dispatch t ~cpu_id (oid, (th : Thread_obj.t)) =
   let cpu = t.node.Hw.Mpm.cpus.(cpu_id) in
   Hw.Cpu.idle_until cpu th.Thread_obj.ready_since;
@@ -394,6 +452,7 @@ let step_cpu t ~cpu_id =
   t.active_cpu <- cpu_id;
   let cpu = t.node.Hw.Mpm.cpus.(cpu_id) in
   roll_quota_epoch t ~now_cycles:cpu.Hw.Cpu.local_time;
+  maybe_audit t ~now_cycles:cpu.Hw.Cpu.local_time;
   let resolve = resolve_ready t in
   match running_thread t ~cpu_id with
   | Some th ->
@@ -523,4 +582,9 @@ let run ?until_us ?(max_steps = 200_000_000) (nodes : Instance.t array) =
     if not !progress then continue := false
   done;
   Array.iter sync_clocks nodes;
+  (* every chaos run ends with a repairing audit: the injection plane must
+     never leave the caches, MMU state or ledgers inconsistent *)
+  Array.iter
+    (fun n -> if Fault_inject.enabled n.fi then ignore (Audit.run ~repair:true n))
+    nodes;
   !steps

@@ -27,6 +27,21 @@ type t = {
   device_hooks : (int, int -> unit) Hashtbl.t;
       (* physical page -> callback(offset): Cache Kernel device drivers
          observing message-mode writes to device regions (section 2.2) *)
+  (* writeback-storm detector: displacements per tumbling window; while a
+     window exceeds [Config.storm_threshold], new loads from non-first
+     kernels get [Overloaded] backpressure *)
+  mutable storm_window_start : Hw.Cost.cycles;
+  mutable storm_displacements : int;
+  mutable storm_active_flag : bool;
+  mutable last_audit : Hw.Cost.cycles; (* periodic-audit bookkeeping *)
+  mutable audit_extra : (repair:bool -> (string * string * string * bool) list) option;
+      (* extra invariant checks registered by upper layers (the SRM ledger):
+         each returns (check, subject, detail, repaired) tuples.  A closure
+         rather than a typed interface because lib/core cannot depend on
+         lib/srm *)
+  mutable on_misbehaving : kernel:Oid.t -> thread:Oid.t -> unit;
+      (* Figure-2 watchdog escalation: a kernel failed twice to resolve a
+         forwarded fault.  The SRM replaces the default no-op *)
 }
 
 let node_id t = t.node.Hw.Mpm.node_id
@@ -64,24 +79,32 @@ let crash t =
         []
     in
     List.iter (fun oid -> ignore (Caches.Thread_cache.unload t.threads oid)) ths;
+    t.stats.Stats.threads.Stats.discarded <-
+      t.stats.Stats.threads.Stats.discarded + List.length ths;
     let ms = ref [] in
     Mappings.iter t.mappings (fun m -> ms := m :: !ms);
     List.iter
       (fun (m : Mappings.m) ->
         Mappings.remove t.mappings ~space_slot:m.Mappings.space.Oid.slot m)
       !ms;
+    t.stats.Stats.mappings.Stats.discarded <-
+      t.stats.Stats.mappings.Stats.discarded + List.length !ms;
     let sps =
       Caches.Space_cache.fold t.spaces
         (fun acc (sp : Space_obj.t) -> sp.Space_obj.oid :: acc)
         []
     in
     List.iter (fun oid -> ignore (Caches.Space_cache.unload t.spaces oid)) sps;
+    t.stats.Stats.spaces.Stats.discarded <-
+      t.stats.Stats.spaces.Stats.discarded + List.length sps;
     let ks =
       Caches.Kernel_cache.fold t.kernels
         (fun acc (k : Kernel_obj.t) -> k.Kernel_obj.oid :: acc)
         []
     in
     List.iter (fun oid -> ignore (Caches.Kernel_cache.unload t.kernels oid)) ks;
+    t.stats.Stats.kernels.Stats.discarded <-
+      t.stats.Stats.kernels.Stats.discarded + List.length ks;
     t.first_kernel <- Oid.none;
     Array.iter
       (fun (c : Hw.Cpu.t) ->
@@ -113,6 +136,12 @@ let create ?(config = Config.default) node =
       quota_epoch_start = 0;
       halted = false;
       device_hooks = Hashtbl.create 8;
+      storm_window_start = 0;
+      storm_displacements = 0;
+      storm_active_flag = false;
+      last_audit = 0;
+      audit_extra = None;
+      on_misbehaving = (fun ~kernel:_ ~thread:_ -> ());
     }
   in
   Fault_inject.set_hooks t.fi
@@ -189,3 +218,59 @@ let push_writeback ?cost t ~(owner : Oid.t) record =
     Queue.push record k.Kernel_obj.writebacks;
     k.Kernel_obj.handlers.Kernel_obj.on_writeback ()
   | None -> () (* boot-time: no first kernel yet; record is dropped *)
+
+(* -- Writeback-storm detection (overload backpressure) --
+
+   Tumbling window over replacement displacements: when one window's count
+   exceeds [storm_threshold], the storm flag raises until a later window
+   stays under it.  Rolling is lazy — both the recorder and the reader roll
+   first — so the flag cannot stay stale across long idle stretches. *)
+
+let roll_storm t ~now_c =
+  let window = Hw.Cost.cycles_of_us t.config.Config.storm_window_us in
+  if now_c - t.storm_window_start >= window then begin
+    (* close out every whole window since the last roll; any window other
+       than the immediately-preceding one saw zero displacements *)
+    let immediately_after = now_c - t.storm_window_start < 2 * window in
+    let was = t.storm_active_flag in
+    t.storm_active_flag <-
+      immediately_after && t.storm_displacements > t.config.Config.storm_threshold;
+    if t.storm_active_flag && not was then begin
+      count t "storm.begin";
+      trace t (Trace.Storm { active = true; displacements = t.storm_displacements })
+    end
+    else if was && not t.storm_active_flag then begin
+      count t "storm.end";
+      trace t (Trace.Storm { active = false; displacements = t.storm_displacements })
+    end;
+    t.storm_window_start <- now_c - ((now_c - t.storm_window_start) mod window);
+    t.storm_displacements <- 0
+  end
+
+(** Record one replacement displacement (called from {!Replacement}). *)
+let note_displacement t =
+  count t "replacement.displacement";
+  if t.config.Config.storm_threshold > 0 then begin
+    let now_c = now t in
+    roll_storm t ~now_c;
+    t.storm_displacements <- t.storm_displacements + 1;
+    if
+      (not t.storm_active_flag)
+      && t.storm_displacements > t.config.Config.storm_threshold
+    then begin
+      (* raise mid-window: waiting for the roll would let a burst displace
+         a full window's worth before backpressure engages *)
+      t.storm_active_flag <- true;
+      count t "storm.begin";
+      trace t (Trace.Storm { active = true; displacements = t.storm_displacements })
+    end
+  end
+
+(** Is the node in a writeback storm right now?  [Api] load paths consult
+    this to return [Overloaded] backpressure. *)
+let storm_active t =
+  t.config.Config.storm_threshold > 0
+  && begin
+       roll_storm t ~now_c:(now t);
+       t.storm_active_flag
+     end

@@ -97,7 +97,9 @@ and remove_one t ~reason (space : Space_obj.t) (m : Mappings.m) =
     | Some k -> k.Kernel_obj.locked_count <- max 0 (k.Kernel_obj.locked_count - 1)
     | None -> ()
   end;
-  space.Space_obj.mapping_count <- space.Space_obj.mapping_count - 1;
+  (* floored: a re-entrant consistency writeback can reach here twice for
+     the same mapping; the audit recount flags any residual drift *)
+  space.Space_obj.mapping_count <- max 0 (space.Space_obj.mapping_count - 1);
   t.stats.Stats.mappings.Stats.unloads <- t.stats.Stats.mappings.Stats.unloads + 1;
   (match reason with
   | Wb.Displaced | Wb.Dependent | Wb.Consistency ->
@@ -132,6 +134,7 @@ let make_room_mapping t =
     match find_space t m.Mappings.space with
     | Some space ->
       writeback_mapping t ~reason:Wb.Displaced space m;
+      note_displacement t;
       true
     | None -> false)
 
@@ -167,7 +170,7 @@ let unload_thread_now t ~reason (th : Thread_obj.t) =
           tag land 0xFFFF = th.Thread_obj.oid.Oid.slot))
     t.node.Hw.Mpm.cpus;
   (match find_space t th.Thread_obj.space with
-  | Some sp -> sp.Space_obj.thread_count <- sp.Space_obj.thread_count - 1
+  | Some sp -> sp.Space_obj.thread_count <- max 0 (sp.Space_obj.thread_count - 1)
   | None -> ());
   if th.Thread_obj.locked then begin
     th.Thread_obj.locked <- false;
@@ -217,6 +220,7 @@ let make_room_thread t =
     observe t "victim_scan.thread"
       (float_of_int (Caches.Thread_cache.last_scan_length t.threads));
     unload_thread_now t ~reason:Wb.Displaced th;
+    note_displacement t;
     true
 
 (* -- Address spaces -- *)
@@ -262,7 +266,9 @@ let make_room_space t =
   | Some space ->
     observe t "victim_scan.space"
       (float_of_int (Caches.Space_cache.last_scan_length t.spaces));
-    unload_space_now t ~reason:Wb.Displaced space = `Done
+    let ok = unload_space_now t ~reason:Wb.Displaced space = `Done in
+    if ok then note_displacement t;
+    ok
 
 (* -- Kernels -- *)
 
@@ -305,4 +311,6 @@ let make_room_kernel t =
   | Some k ->
     observe t "victim_scan.kernel"
       (float_of_int (Caches.Kernel_cache.last_scan_length t.kernels));
-    unload_kernel_now t ~reason:Wb.Displaced k = `Done
+    let ok = unload_kernel_now t ~reason:Wb.Displaced k = `Done in
+    if ok then note_displacement t;
+    ok

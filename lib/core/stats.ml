@@ -6,10 +6,18 @@ type counter = {
   mutable unloads : int;
   mutable writebacks : int; (* objects displaced by replacement *)
   mutable misses : int; (* stale-identifier lookups *)
+  mutable discarded : int; (* objects dropped without writeback (node crash) *)
 }
 
 let new_counter () =
-  { loads = 0; loads_with_writeback = 0; unloads = 0; writebacks = 0; misses = 0 }
+  {
+    loads = 0;
+    loads_with_writeback = 0;
+    unloads = 0;
+    writebacks = 0;
+    misses = 0;
+    discarded = 0;
+  }
 
 type t = {
   kernels : counter;
@@ -58,6 +66,7 @@ let counter_json (x : counter) =
       ("unloads", Json.Int x.unloads);
       ("writebacks", Json.Int x.writebacks);
       ("stale_lookups", Json.Int x.misses);
+      ("discarded", Json.Int x.discarded);
     ]
 
 (** Per-object-kind cache counters plus the flat protocol counters, for the
@@ -82,8 +91,8 @@ let to_json t =
 
 let pp ppf t =
   let c name (x : counter) =
-    Fmt.pf ppf "  %-9s loads=%d (+wb %d) unloads=%d writebacks=%d stale=%d@." name x.loads
-      x.loads_with_writeback x.unloads x.writebacks x.misses
+    Fmt.pf ppf "  %-9s loads=%d (+wb %d) unloads=%d writebacks=%d stale=%d discarded=%d@."
+      name x.loads x.loads_with_writeback x.unloads x.writebacks x.misses x.discarded
   in
   c "kernels" t.kernels;
   c "spaces" t.spaces;

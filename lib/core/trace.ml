@@ -31,6 +31,10 @@ type event =
   | Consistency_flush of { pfn : int }
   | Injected of { site : string }
   | Recovered of { site : string }
+  | Audit_violation of { check : string; subject : string }
+  | Audit_repaired of { check : string; subject : string }
+  | Storm of { active : bool; displacements : int }
+  | Forward_timeout of { thread : Oid.t; escalated : bool }
   | Custom of string
 
 let pp_event ppf = function
@@ -63,6 +67,13 @@ let pp_event ppf = function
   | Consistency_flush { pfn } -> Fmt.pf ppf "consistency-flush pfn=%d" pfn
   | Injected { site } -> Fmt.pf ppf "inject %s" site
   | Recovered { site } -> Fmt.pf ppf "recover %s" site
+  | Audit_violation { check; subject } -> Fmt.pf ppf "audit-violation %s %s" check subject
+  | Audit_repaired { check; subject } -> Fmt.pf ppf "audit-repaired %s %s" check subject
+  | Storm { active; displacements } ->
+    Fmt.pf ppf "storm %s displacements=%d" (if active then "begin" else "end") displacements
+  | Forward_timeout { thread; escalated } ->
+    Fmt.pf ppf "forward-timeout %a%s" Oid.pp thread
+      (if escalated then " (escalated)" else " (re-forwarded)")
   | Custom s -> Fmt.string ppf s
 
 let event_name = function
@@ -84,6 +95,10 @@ let event_name = function
   | Consistency_flush _ -> "consistency_flush"
   | Injected _ -> "injected"
   | Recovered _ -> "recovered"
+  | Audit_violation _ -> "audit_violation"
+  | Audit_repaired _ -> "audit_repaired"
+  | Storm _ -> "storm"
+  | Forward_timeout _ -> "forward_timeout"
   | Custom _ -> "custom"
 
 let event_fields ev =
@@ -111,6 +126,14 @@ let event_fields ev =
   | Consistency_flush { pfn } -> [ ("pfn", Json.Int pfn) ]
   | Injected { site } -> [ ("site", Json.String site) ]
   | Recovered { site } -> [ ("site", Json.String site) ]
+  | Audit_violation { check; subject } ->
+    [ ("check", Json.String check); ("subject", Json.String subject) ]
+  | Audit_repaired { check; subject } ->
+    [ ("check", Json.String check); ("subject", Json.String subject) ]
+  | Storm { active; displacements } ->
+    [ ("active", Json.Bool active); ("displacements", Json.Int displacements) ]
+  | Forward_timeout { thread; escalated } ->
+    [ oid "thread" thread; ("escalated", Json.Bool escalated) ]
   | Custom s -> [ ("text", Json.String s) ]
 
 type entry = { time : Hw.Cost.cycles; event : event }

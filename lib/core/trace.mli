@@ -25,6 +25,10 @@ type event =
   | Consistency_flush of { pfn : int }
   | Injected of { site : string }
   | Recovered of { site : string }
+  | Audit_violation of { check : string; subject : string }
+  | Audit_repaired of { check : string; subject : string }
+  | Storm of { active : bool; displacements : int }
+  | Forward_timeout of { thread : Oid.t; escalated : bool }
   | Custom of string
 
 val pp_event : event Fmt.t

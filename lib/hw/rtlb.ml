@@ -60,3 +60,6 @@ let flush_tag t ~pred =
     t.slots
 
 let flush_all t = Array.fill t.slots 0 (Array.length t.slots) None
+
+(** Visit every resident entry (diagnostic walk: no hit/miss accounting). *)
+let iter t f = Array.iter (function Some e -> f e | None -> ()) t.slots

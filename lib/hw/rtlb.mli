@@ -5,6 +5,7 @@
     them against the thread cache on each hit. *)
 
 type t
+type entry = { pfn : int; va_base : int; tag : int }
 
 val default_size : int
 val create : ?size:int -> unit -> t
@@ -18,3 +19,7 @@ val insert : t -> pfn:int -> va_base:int -> tag:int -> unit
 val flush_pfn : t -> pfn:int -> unit
 val flush_tag : t -> pred:(int -> bool) -> unit
 val flush_all : t -> unit
+
+val iter : t -> (entry -> unit) -> unit
+(** Visit every resident entry without touching hit/miss statistics — the
+    invariant auditor's walk. *)

@@ -80,3 +80,6 @@ let flush_space t ~asid =
 let flush_all t =
   Array.fill t.slots 0 (Array.length t.slots) None;
   t.flushes <- t.flushes + 1
+
+(** Visit every resident entry (diagnostic walk: no hit/miss accounting). *)
+let iter t f = Array.iter (function Some e -> f e | None -> ()) t.slots

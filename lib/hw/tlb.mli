@@ -4,6 +4,12 @@
 
 type t
 
+type entry = {
+  asid : int;
+  vpn : int;
+  pte : Page_table.entry; (* shared with the page table by reference *)
+}
+
 val default_size : int
 val create : ?size:int -> unit -> t
 val size : t -> int
@@ -16,3 +22,7 @@ val insert : t -> asid:int -> vpn:int -> pte:Page_table.entry -> unit
 val flush_page : t -> asid:int -> vpn:int -> unit
 val flush_space : t -> asid:int -> unit
 val flush_all : t -> unit
+
+val iter : t -> (entry -> unit) -> unit
+(** Visit every resident entry without touching hit/miss statistics — the
+    invariant auditor's walk. *)

@@ -11,9 +11,11 @@ type grant = {
   mutable groups : int list;
   mutable cpu_percent : int array;
   mutable net_percent : int;
+  mutable released : bool;
 }
 
 type t = {
+  all_groups : int list; (* every group the ledger governs, fixed at create *)
   mutable free_groups : int list;
   cpu_committed : int array; (* percentage committed per CPU *)
   mutable net_committed : int;
@@ -21,9 +23,16 @@ type t = {
 }
 
 let create ~groups ~n_cpus =
-  { free_groups = groups; cpu_committed = Array.make n_cpus 0; net_committed = 0; grants = [] }
+  {
+    all_groups = groups;
+    free_groups = groups;
+    cpu_committed = Array.make n_cpus 0;
+    net_committed = 0;
+    grants = [];
+  }
 
 let free_group_count t = List.length t.free_groups
+let grants t = t.grants
 
 (** Reserve [n] page groups, [cpu] percent of every processor and [net]
     percent of network capacity for [kernel_name]. *)
@@ -47,19 +56,92 @@ let allocate t ~kernel_name ~group_count ~cpu_percent ~net_percent =
         groups;
         cpu_percent = Array.map (fun _ -> cpu_percent) t.cpu_committed;
         net_percent;
+        released = false;
       }
     in
     t.grants <- g :: t.grants;
     Ok g
   end
 
-(** Return a grant's resources to the pool (kernel swapped out or exited). *)
+(** Return a grant's resources to the pool (kernel swapped out or exited).
+    Idempotent: a double release returns nothing twice — every resource
+    field is zeroed with the first release and guarded by [released], so a
+    stale handle cannot double-subtract committed capacity and corrupt
+    other kernels' headroom. *)
 let release t (g : grant) =
-  t.free_groups <- g.groups @ t.free_groups;
+  if not g.released then begin
+    g.released <- true;
+    t.free_groups <- g.groups @ t.free_groups;
+    Array.iteri
+      (fun i c -> t.cpu_committed.(i) <- max 0 (c - g.cpu_percent.(i)))
+      t.cpu_committed;
+    t.net_committed <- max 0 (t.net_committed - g.net_percent);
+    t.grants <- List.filter (fun x -> x != g) t.grants;
+    g.groups <- [];
+    Array.fill g.cpu_percent 0 (Array.length g.cpu_percent) 0;
+    g.net_percent <- 0
+  end
+
+(* -- Conservation audit --
+
+   free_groups plus the granted groups must partition the governed set,
+   and committed CPU/net percentages must equal the sums over live
+   grants.  Returns (check, subject, detail, repaired) tuples in the shape
+   {!Cachekernel.Instance.audit_extra} expects; with [repair] the
+   committed totals are recomputed from the grants and leaked groups are
+   returned to the free pool. *)
+let audit t ~repair =
+  let viols = ref [] in
+  let flag subject detail repaired =
+    viols := ("ledger", subject, detail, repaired) :: !viols
+  in
+  (* group conservation: no group lost, none double-owned *)
+  let held = t.free_groups @ List.concat_map (fun g -> g.groups) t.grants in
+  let sorted = List.sort compare held in
+  let expected = List.sort compare t.all_groups in
+  if sorted <> expected then begin
+    let leaked = List.filter (fun g -> not (List.mem g held)) t.all_groups in
+    let repaired =
+      repair
+      &&
+      (t.free_groups <- t.free_groups @ leaked;
+       true)
+    in
+    flag "groups"
+      (Printf.sprintf "held %d of %d governed groups (%d leaked)" (List.length held)
+         (List.length t.all_groups) (List.length leaked))
+      repaired
+    (* double-owned groups are not repairable here: revoking either owner
+       would yank memory a kernel believes it holds *)
+  end;
+  (* committed capacity = sum over live grants *)
   Array.iteri
-    (fun i c -> t.cpu_committed.(i) <- max 0 (c - g.cpu_percent.(i)))
+    (fun i c ->
+      let sum = List.fold_left (fun a g -> a + g.cpu_percent.(i)) 0 t.grants in
+      if c <> sum then begin
+        let repaired =
+          repair
+          &&
+          (t.cpu_committed.(i) <- sum;
+           true)
+        in
+        flag
+          (Printf.sprintf "cpu_committed[%d]" i)
+          (Printf.sprintf "recorded %d%%, grants sum to %d%%" c sum)
+          repaired
+      end)
     t.cpu_committed;
-  t.net_committed <- max 0 (t.net_committed - g.net_percent);
-  t.grants <- List.filter (fun x -> x != g) t.grants;
-  g.groups <- [];
-  g.net_percent <- 0
+  let net_sum = List.fold_left (fun a g -> a + g.net_percent) 0 t.grants in
+  if t.net_committed <> net_sum then begin
+    let detail =
+      Printf.sprintf "recorded %d%%, grants sum to %d%%" t.net_committed net_sum
+    in
+    let repaired =
+      repair
+      &&
+      (t.net_committed <- net_sum;
+       true)
+    in
+    flag "net_committed" detail repaired
+  end;
+  List.rev !viols

@@ -7,12 +7,16 @@ type grant = {
   mutable groups : int list;
   mutable cpu_percent : int array;
   mutable net_percent : int;
+  mutable released : bool;  (** set by {!release}; makes release idempotent *)
 }
 
 type t
 
 val create : groups:int list -> n_cpus:int -> t
 val free_group_count : t -> int
+
+val grants : t -> grant list
+(** Live (unreleased) grants, most recent first. *)
 
 val allocate :
   t ->
@@ -23,4 +27,13 @@ val allocate :
   (grant, [ `No_memory | `No_cpu | `No_net ]) result
 
 val release : t -> grant -> unit
-(** Return a grant's resources to the pool. *)
+(** Return a grant's resources to the pool.  Idempotent: releasing the
+    same grant twice returns its resources exactly once. *)
+
+val audit : t -> repair:bool -> (string * string * string * bool) list
+(** Conservation audit in the shape {!Cachekernel.Instance.audit_extra}
+    expects: [(check, subject, detail, repaired)] tuples, [check] =
+    ["ledger"].  Verifies free + granted page groups partition the
+    governed set and that committed CPU/net percentages equal the sums
+    over live grants; with [repair] recomputes committed totals from the
+    grants and returns leaked groups to the free pool. *)

@@ -41,6 +41,10 @@ type t = {
   mutable kernels : launched list;
   mutable taps : tap list;
   mutable kernel_writebacks : int;
+  mutable misbehaving : (Oid.t * Oid.t) list;
+      (* (kernel, thread) pairs escalated by the Cache Kernel's forwarding
+         watchdog: application kernels whose fault handlers never resolved
+         a forwarded fault (section 2's misbehaving-program containment) *)
 }
 
 let oid t = App_kernel.oid t.ak
@@ -67,8 +71,16 @@ let boot inst ?(own_groups = 2) () =
         kernels = [];
         taps = [];
         kernel_writebacks = 0;
+        misbehaving = [];
       }
     in
+    (* the invariant auditor reaches the SRM's ledger through this hook
+       (the core library cannot depend on the srm layer directly) *)
+    inst.Instance.audit_extra <- Some (fun ~repair -> Ledger.audit t.ledger ~repair);
+    inst.Instance.on_misbehaving <-
+      (fun ~kernel ~thread ->
+        t.misbehaving <- (kernel, thread) :: t.misbehaving;
+        Instance.count inst "srm.misbehaving");
     ak.App_kernel.on_kernel_writeback <-
       (fun _ak _oid name _reason ->
         t.kernel_writebacks <- t.kernel_writebacks + 1;

@@ -36,6 +36,9 @@ type t = {
   mutable kernels : launched list;
   mutable taps : tap list;
   mutable kernel_writebacks : int;
+  mutable misbehaving : (Oid.t * Oid.t) list;
+      (** (kernel, thread) pairs escalated by the Cache Kernel's forwarding
+          watchdog when a forwarded fault went unresolved *)
 }
 
 val oid : t -> Oid.t

@@ -39,6 +39,38 @@ let test_ledger () =
   | Ok _ -> ()
   | Error _ -> Alcotest.fail "release freed capacity"
 
+(* Regression: releasing the same grant twice must return its resources
+   exactly once.  The old release zeroed groups and net but left
+   cpu_percent intact and had no guard, so a stale handle double-subtracted
+   committed CPU capacity and inflated other kernels' headroom. *)
+let test_ledger_double_release () =
+  let l = Srm.Ledger.create ~groups:[ 0; 1; 2; 3 ] ~n_cpus:2 in
+  let alloc name cpu net =
+    match
+      Srm.Ledger.allocate l ~kernel_name:name ~group_count:1 ~cpu_percent:cpu
+        ~net_percent:net
+    with
+    | Ok g -> g
+    | Error _ -> Alcotest.failf "allocate %s" name
+  in
+  let ga = alloc "a" 30 20 in
+  let _gb = alloc "b" 40 30 in
+  Srm.Ledger.release l ga;
+  Srm.Ledger.release l ga;
+  Alcotest.(check bool) "released flag set" true ga.Srm.Ledger.released;
+  Alcotest.(check int) "groups returned once" 3 (Srm.Ledger.free_group_count l);
+  Alcotest.(check int) "only b's grant remains" 1 (List.length (Srm.Ledger.grants l));
+  (* committed capacity reflects exactly b's grant: a request that fits the
+     real headroom succeeds, one that exceeds it is refused — a double
+     subtraction would have accepted it *)
+  (match Srm.Ledger.allocate l ~kernel_name:"c" ~group_count:1 ~cpu_percent:60 ~net_percent:70 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "headroom freed by the release was refused");
+  (match Srm.Ledger.allocate l ~kernel_name:"d" ~group_count:1 ~cpu_percent:1 ~net_percent:1 with
+  | Error `No_cpu | Error `No_net -> ()
+  | _ -> Alcotest.fail "over-committed: the double release leaked capacity");
+  Alcotest.(check bool) "ledger audits clean" true (Srm.Ledger.audit l ~repair:false = [])
+
 (* -- Launch: grants actually bound the launched kernel -- *)
 
 let test_launch_grants () =
@@ -180,7 +212,12 @@ let test_distrib_cosched_and_containment () =
 let () =
   Alcotest.run "srm"
     [
-      ("ledger", [ Alcotest.test_case "allocate and release" `Quick test_ledger ]);
+      ( "ledger",
+        [
+          Alcotest.test_case "allocate and release" `Quick test_ledger;
+          Alcotest.test_case "double release is idempotent" `Quick
+            test_ledger_double_release;
+        ] );
       ( "launch",
         [
           Alcotest.test_case "grants bound the guest" `Quick test_launch_grants;
