@@ -536,6 +536,103 @@ let overload_sweep () =
     Json.to_file "BENCH_metrics.json" (Json.Obj (fields @ [ ("overload_sweep", sweep) ]))
   | _ | (exception _) -> ()
 
+(* -- MG: live migration — pause time and bytes shipped vs working set -- *)
+
+(* Two nodes; node 0 hosts a space with [ws] dirty pages and a spinner
+   thread.  Migrate the space (thread included) to node 1 over the fiber
+   and measure the source-observed pause (capture -> ack) and the bytes
+   the image shipped.  Both nodes must audit clean afterwards. *)
+let migrate_run ~ws =
+  let net = Hw.Interconnect.create () in
+  let make_node id =
+    let inst = Workload.Setup.instance ~node_id:id ~cpus:2 () in
+    let srm = Workload.Setup.ok (Srm.Manager.boot inst ()) in
+    let d = Srm.Distrib.start srm ~net in
+    (inst, srm, d)
+  in
+  let nodes = List.map make_node [ 0; 1 ] in
+  List.iter
+    (fun (_, _, d) ->
+      List.iter (fun (i2, _, _) -> Srm.Distrib.add_peer d (Instance.node_id i2)) nodes)
+    nodes;
+  let i0, srm0, d0 = List.nth nodes 0 in
+  let i1, _, _ = List.nth nodes 1 in
+  let ak0 = srm0.Srm.Manager.ak in
+  let mgr = ak0.Aklib.App_kernel.mgr in
+  let vsp = Workload.Setup.ok (Aklib.Segment_mgr.create_space mgr) in
+  let seg = Aklib.Segment_mgr.create_segment mgr ~name:"ws" ~pages:ws in
+  (* dirty the whole working set so the image carries it *)
+  Aklib.Segment_mgr.write_segment_now mgr seg ~offset:0
+    (Bytes.init (ws * Hw.Addr.page_size) (fun i -> Char.chr (1 + (i mod 251))));
+  Aklib.Segment_mgr.attach_region mgr vsp
+    (Aklib.Region.v ~va_start:0x40000000 ~pages:ws ~segment:seg ~seg_offset:0 ());
+  let body () =
+    let rec loop () =
+      Hw.Exec.compute 2000;
+      ignore (Hw.Exec.trap Api.Ck_yield);
+      loop ()
+    in
+    loop ()
+  in
+  ignore
+    (Workload.Setup.ok
+       (Aklib.Thread_lib.spawn ak0.Aklib.App_kernel.threads
+          ~space_tag:vsp.Aklib.Segment_mgr.tag ~priority:8 (Hw.Exec.unit_body body)));
+  let insts = [| i0; i1 |] in
+  ignore (Engine.run ~until_us:2_000.0 insts);
+  (match Srm.Distrib.plane d0 |> fun p -> Migrate.Plane.move_space p ~dst:1 vsp.Aklib.Segment_mgr.tag with
+  | Ok _ -> ()
+  | Error e -> failwith (Fmt.str "move_space: %a" Api.pp_error e));
+  (* leave room for the image's wire time: ws=256 is ~1 MB, ~32 ms on the
+     266 Mb fiber *)
+  ignore (Engine.run ~until_us:60_000.0 insts);
+  let m0 = i0.Instance.metrics in
+  let m1 = i1.Instance.metrics in
+  let a0 = Audit.run i0 in
+  let a1 = Audit.run i1 in
+  ( Metrics.counter m0 "migrate.bytes_out",
+    Metrics.counter m0 "migrate.chunks_out",
+    Metrics.percentile m0 "migrate.pause_us" 0.5,
+    Metrics.counter m0 "migrate.completed",
+    Metrics.counter m1 "migrate.adopted",
+    List.length a0.Audit.violations + List.length a1.Audit.violations )
+
+let migration_sweep () =
+  section "MG. Live migration: pause time and bytes vs working-set size";
+  Printf.printf "  %8s %10s %8s %12s %10s %8s %7s\n" "ws pages" "bytes" "chunks"
+    "pause us" "completed" "adopted" "audit";
+  let rows = ref [] in
+  List.iter
+    (fun ws ->
+      let bytes, chunks, pause, completed, adopted, viols = migrate_run ~ws in
+      Printf.printf "  %8d %10d %8d %12.1f %10d %8d %7d\n" ws bytes chunks pause completed
+        adopted viols;
+      rows :=
+        Json.Obj
+          [
+            ("ws_pages", Json.Int ws);
+            ("bytes_out", Json.Int bytes);
+            ("chunks_out", Json.Int chunks);
+            ("pause_us", Json.Float pause);
+            ("completed", Json.Int completed);
+            ("adopted", Json.Int adopted);
+            ("audit_violations", Json.Int viols);
+          ]
+        :: !rows)
+    [ 4; 16; 64; 256 ];
+  Printf.printf "  (pause grows with the shipped working set; both nodes audit clean)\n";
+  (* fold the sweep into BENCH_metrics.json next to the O1/OV exports *)
+  let sweep = Json.List (List.rev !rows) in
+  match
+    let ic = open_in "BENCH_metrics.json" in
+    let s = In_channel.input_all ic in
+    close_in ic;
+    Json.of_string s
+  with
+  | Json.Obj fields ->
+    Json.to_file "BENCH_metrics.json" (Json.Obj (fields @ [ ("migration_sweep", sweep) ]))
+  | _ | (exception _) -> ()
+
 (* -- Bechamel: host wall-clock of the same operations -- *)
 
 let bechamel_suite () =
@@ -614,5 +711,6 @@ let () =
   ablations ();
   metrics_export ();
   overload_sweep ();
+  migration_sweep ();
   bechamel_suite ();
   Printf.printf "\nDone.\n"

@@ -8,7 +8,10 @@
               auditor afterwards and fails on unrepaired violations)
      trace  — run one demand-paged program with the event trace enabled
      micro  — print the Table 2 micro-benchmark rows
-     audit  — run a workload, then audit every cross-layer invariant *)
+     audit  — run a workload, then audit every cross-layer invariant
+     checkpoint — run the UNIX session and save its image to a file
+     restore    — replay the session in a fresh process, restore the image,
+                  and verify memory content and syscall results match *)
 
 open Cmdliner
 open Cachekernel
@@ -52,7 +55,7 @@ let export_observability inst ~metrics_out ~trace_out =
    DESIGN.md section 6 (injection & recovery). *)
 let chaos_sites =
   [ "bstore.fail"; "bstore.delay"; "signal.drop"; "signal.dup"; "stale.load";
-    "fault.forward"; "node.crash" ]
+    "fault.forward"; "node.crash"; "migrate.drop" ]
 
 let chaos_config ~rate ~seed =
   if rate <= 0.0 then None
@@ -66,6 +69,7 @@ let chaos_config ~rate ~seed =
         signal_drop = rate;
         stale_rate = rate;
         forward_drop = rate;
+        migrate_drop = rate;
       }
 
 let print_chaos_balance inst =
@@ -89,12 +93,14 @@ let run_audit inst ~audit_out =
     Stdlib.exit 1
   end
 
-let run_workload cpus procs chaos chaos_seed audit audit_out metrics_out trace_out =
-  let config =
-    { Config.default with Config.chaos = chaos_config ~rate:chaos ~seed:chaos_seed }
-  in
+(* Boot the quickstart UNIX session and run it to completion (or, with
+   [pause_us], stop at that simulated time and leave the rest to the
+   caller).  Shared by `run`, `audit`, `checkpoint` and `restore` — the
+   latter two rely on the workload being deterministic for a given
+   (cpus, procs). *)
+let boot_and_run ?pause_us ~config ~cpus ~procs ~tracing () =
   let inst = Workload.Setup.instance ~config ~cpus () in
-  if trace_out <> None then Trace.enable inst.Instance.trace;
+  if tracing then Trace.enable inst.Instance.trace;
   let groups = List.init (Instance.n_groups inst) Fun.id in
   let emu = Workload.Setup.ok (Unix_emu.Emulator.boot inst ~groups) in
   let child =
@@ -113,7 +119,14 @@ let run_workload cpus procs chaos chaos_seed audit audit_out metrics_out trace_o
         0)
   in
   ignore (Workload.Setup.ok (Unix_emu.Emulator.start_init emu init));
-  ignore (Engine.run [| inst |]);
+  ignore (Engine.run ?until_us:pause_us [| inst |]);
+  (inst, emu)
+
+let run_workload cpus procs chaos chaos_seed audit audit_out metrics_out trace_out =
+  let config =
+    { Config.default with Config.chaos = chaos_config ~rate:chaos ~seed:chaos_seed }
+  in
+  let inst, emu = boot_and_run ~config ~cpus ~procs ~tracing:(trace_out <> None) () in
   Fmt.pr "ran %d processes in %.1f ms simulated (%d syscalls)@."
     emu.Unix_emu.Emulator.spawned
     (Hw.Cost.us_of_cycles (Hw.Mpm.now inst.Instance.node) /. 1000.)
@@ -146,6 +159,114 @@ let show_trace metrics_out trace_out =
   ignore (Engine.run [| inst |]);
   Fmt.pr "%a" Trace.pp inst.Instance.trace;
   export_observability inst ~metrics_out ~trace_out
+
+(* -- checkpoint / restore ----------------------------------------------
+
+   `ckos checkpoint` runs the quickstart UNIX session to completion and
+   writes its image (lib/migrate's codec, staged through the simulated
+   disk) to a host file; `ckos restore` replays the same session in a
+   fresh process, restores the image, and verifies both byte content and
+   syscall results against what the checkpoint recorded. *)
+
+(* Content digest of an image's page payloads: stable across the tag/gen
+   renumbering a restore performs, so restored memory can be verified
+   byte-for-byte against what was saved. *)
+let payload_digest (img : Migrate.Codec.image) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (s : Migrate.Codec.space_image) ->
+      List.iter
+        (fun (seg : Migrate.Codec.segment_image) ->
+          List.iter
+            (fun (p : Migrate.Codec.page) ->
+              Buffer.add_string buf (string_of_int p.Migrate.Codec.index);
+              Buffer.add_bytes buf p.Migrate.Codec.data)
+            seg.Migrate.Codec.payload)
+        s.Migrate.Codec.segments)
+    img.Migrate.Codec.spaces;
+  Migrate.Codec.fnv32 (Buffer.to_bytes buf)
+
+let run_checkpoint cpus procs pause_us out =
+  (* pause mid-session: the children's data pages are live, so the image
+     carries real content; then run to completion so the extras record the
+     session's final syscall results for `restore` to verify against *)
+  let inst, emu =
+    boot_and_run ~pause_us ~config:Config.default ~cpus ~procs ~tracing:false ()
+  in
+  let ak = emu.Unix_emu.Emulator.ak in
+  let img = Migrate.Checkpoint.image_of ak () in
+  let digest = payload_digest img in
+  ignore (Engine.run [| inst |]);
+  let extras =
+    [
+      ("cpus", string_of_int cpus);
+      ("procs", string_of_int procs);
+      ("pause_us", string_of_float pause_us);
+      ("spawned", string_of_int emu.Unix_emu.Emulator.spawned);
+      ("syscalls", string_of_int emu.Unix_emu.Emulator.syscalls);
+      ("digest", string_of_int digest);
+    ]
+  in
+  let bytes =
+    try Migrate.Checkpoint.save_image ak ~path:out { img with Migrate.Codec.extras }
+    with Sys_error msg ->
+      Fmt.epr "ckos: cannot write checkpoint: %s@." msg;
+      Stdlib.exit 1
+  in
+  Fmt.pr "checkpointed %d spaces at %.0f us (%d B image, digest %08x) to %s@."
+    (List.length img.Migrate.Codec.spaces)
+    pause_us bytes digest out;
+  run_audit inst ~audit_out:None
+
+let run_restore file =
+  let data =
+    try In_channel.with_open_bin file (fun ic -> Bytes.of_string (In_channel.input_all ic))
+    with Sys_error msg ->
+      Fmt.epr "ckos: cannot read checkpoint: %s@." msg;
+      Stdlib.exit 1
+  in
+  match Migrate.Codec.decode data with
+  | Error msg ->
+    Fmt.epr "ckos: %s: corrupt checkpoint: %s@." file msg;
+    Stdlib.exit 1
+  | Ok saved -> (
+    let extra_int k = Option.bind (List.assoc_opt k saved.Migrate.Codec.extras) int_of_string_opt in
+    let cpus = Option.value ~default:4 (extra_int "cpus") in
+    let procs = Option.value ~default:4 (extra_int "procs") in
+    (* replay the recorded session in this fresh process, then restore the
+       image beside it and compare *)
+    let inst, emu = boot_and_run ~config:Config.default ~cpus ~procs ~tracing:false () in
+    let ak = emu.Unix_emu.Emulator.ak in
+    match Migrate.Checkpoint.restore ak ~path:file ~programs:[] () with
+    | Error msg ->
+      Fmt.epr "ckos: restore failed: %s@." msg;
+      Stdlib.exit 1
+    | Ok r ->
+      let restored_digest =
+        payload_digest
+          {
+            saved with
+            Migrate.Codec.spaces =
+              List.map (Migrate.Plane.space_image_of ak) r.Migrate.Checkpoint.spaces;
+          }
+      in
+      let failures = ref [] in
+      let check name got want =
+        match want with
+        | Some w when w <> got ->
+          failures := Fmt.str "%s: got %d, checkpoint recorded %d" name got w :: !failures
+        | _ -> ()
+      in
+      check "spawned" emu.Unix_emu.Emulator.spawned (extra_int "spawned");
+      check "syscalls" emu.Unix_emu.Emulator.syscalls (extra_int "syscalls");
+      check "digest" restored_digest (extra_int "digest");
+      Fmt.pr "restored %d spaces, %d thread records from %s (digest %08x)@."
+        (List.length r.Migrate.Checkpoint.spaces)
+        (List.length r.Migrate.Checkpoint.threads)
+        file restored_digest;
+      List.iter (fun f -> Fmt.epr "ckos: restore mismatch: %s@." f) !failures;
+      run_audit inst ~audit_out:None;
+      if !failures <> [] then Stdlib.exit 1)
 
 let show_micro () =
   List.iter
@@ -243,10 +364,45 @@ let trace_cmd =
 let micro_cmd =
   Cmd.v (Cmd.info "micro" ~doc:"Table 2 micro-benchmarks") Term.(const show_micro $ const ())
 
+let checkpoint_cmd =
+  let cpus = Arg.(value & opt int 4 & info [ "cpus" ] ~doc:"CPUs per MPM.") in
+  let procs = Arg.(value & opt int 4 & info [ "procs" ] ~doc:"Processes to run.") in
+  let pause_us =
+    Arg.(
+      value
+      & opt float 2000.0
+      & info [ "pause-us" ] ~docv:"US"
+          ~doc:"Simulated time at which to capture the image (mid-session).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "ckos.ckpt"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Checkpoint file to write.")
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"Run the UNIX session, checkpoint the application kernel to a file, and audit")
+    Term.(const run_checkpoint $ cpus $ procs $ pause_us $ out)
+
+let restore_cmd =
+  let file =
+    Arg.(
+      value
+      & pos 0 string "ckos.ckpt"
+      & info [] ~docv:"FILE" ~doc:"Checkpoint file written by $(b,ckos checkpoint).")
+  in
+  Cmd.v
+    (Cmd.info "restore"
+       ~doc:
+         "Replay the checkpointed session in a fresh process, restore the image, and \
+          verify memory content and syscall results match the checkpoint")
+    Term.(const run_restore $ file)
+
 let () =
   Stdlib.exit
     (Cmd.eval
        (Cmd.group
           ~default:run_term (* `ckos --metrics-out m.json` runs the workload *)
           (Cmd.info "ckos" ~doc:"Cache Kernel (OSDI '94) reproduction inspector")
-          [ info_cmd; run_cmd; trace_cmd; micro_cmd; audit_cmd ]))
+          [ info_cmd; run_cmd; trace_cmd; micro_cmd; audit_cmd; checkpoint_cmd; restore_cmd ]))

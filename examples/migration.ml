@@ -1,0 +1,101 @@
+(* Live object migration and SRM-driven load balancing (lib/migrate).
+
+   Two MPMs.  Node 0 starts with six compute threads, node 1 with none.
+   Each SRM runs the balancing loop ([Config.balance_interval_us]): the
+   most-loaded node migrates one movable thread per tick to the
+   least-loaded one until the spread is inside the hysteresis band.  A
+   thread's writeback image — the location-independent representation the
+   caching model provides — is chunked over the fiber channel, rebuilt and
+   adopted at the destination, and resumed there.
+
+   Afterwards a signal is raised at a migrated thread's *old* residence:
+   the forwarding stub re-targets it to the new node.
+
+   Run with: dune exec examples/migration.exe *)
+
+open Cachekernel
+
+let ok = function Ok v -> v | Error e -> Fmt.failwith "api error: %a" Api.pp_error e
+
+let () =
+  let config = { Config.default with Config.balance_interval_us = 1_000.0 } in
+  let net = Hw.Interconnect.create () in
+  let make_node id load =
+    let inst = Workload.Setup.instance ~config ~node_id:id ~cpus:2 () in
+    let srm = ok (Srm.Manager.boot inst ()) in
+    let d = Srm.Distrib.start srm ~net in
+    let spin () =
+      let rec loop () =
+        Hw.Exec.compute 2500;
+        ignore (Hw.Exec.trap Api.Ck_yield);
+        loop ()
+      in
+      loop ()
+    in
+    for _ = 1 to load do
+      ignore
+        (ok
+           (Aklib.App_kernel.spawn_internal srm.Srm.Manager.ak ~priority:6
+              (Hw.Exec.unit_body spin)))
+    done;
+    (inst, srm, d)
+  in
+  let nodes = [ make_node 0 6; make_node 1 0 ] in
+  List.iter
+    (fun (_, _, d) ->
+      List.iter (fun (i, _, _) -> Srm.Distrib.add_peer d (Instance.node_id i)) nodes)
+    nodes;
+  let insts = Array.of_list (List.map (fun (i, _, _) -> i) nodes) in
+  let i0, srm0, d0 = List.nth nodes 0 in
+  let i1, _, _ = List.nth nodes 1 in
+
+  (* Phase 1: the balancing loop drains the imbalance. *)
+  List.iter (fun (_, _, d) -> Srm.Distrib.report_load d) nodes;
+  Fmt.pr "initial load at node 0: %a@."
+    Fmt.(Dump.list (Dump.pair int int))
+    (Srm.Distrib.load_reports d0);
+  ignore (Engine.run ~until_us:40_000.0 insts);
+  Fmt.pr "after balancing:        %a@."
+    Fmt.(Dump.list (Dump.pair int int))
+    (Srm.Distrib.load_reports d0);
+  List.iter
+    (fun (i, _, _) ->
+      Fmt.pr "node %d: balance moves %d, migrations out %d completed %d, adopted in %d@."
+        (Instance.node_id i)
+        (Metrics.counter i.Instance.metrics "balance.moves")
+        (Metrics.counter i.Instance.metrics "migrate.moves")
+        (Metrics.counter i.Instance.metrics "migrate.completed")
+        (Metrics.counter i.Instance.metrics "migrate.adopted"))
+    nodes;
+  let p50 = Metrics.percentile i0.Instance.metrics "migrate.pause_us" 0.5 in
+  Fmt.pr "median migration pause at node 0: %.1f us@." p50;
+
+  (* Phase 2: explicit migration, then a signal at the old residence. *)
+  let threads0 = srm0.Srm.Manager.ak.Aklib.App_kernel.threads in
+  let id =
+    ok
+      (Aklib.App_kernel.spawn_internal srm0.Srm.Manager.ak ~priority:6
+         (Hw.Exec.unit_body (fun () ->
+              let rec loop () =
+                Hw.Exec.compute 2000;
+                ignore (Hw.Exec.trap Api.Ck_yield);
+                loop ()
+              in
+              loop ())))
+  in
+  let xfer = ok (Migrate.Plane.move_thread (Srm.Distrib.plane d0) ~dst:1 id) in
+  ignore (Engine.run ~until_us:50_000.0 insts);
+  let forwarded = Aklib.Thread_lib.signal threads0 id ~va:0xBEE0 in
+  ignore (Engine.run ~until_us:55_000.0 insts);
+  Fmt.pr "@.thread %d shipped as transfer %d; signal at old residence forwarded: %b@." id
+    xfer forwarded;
+  Fmt.pr "node 1 delivered %d forwarded signal(s)@."
+    (Metrics.counter i1.Instance.metrics "migrate.signals_delivered");
+
+  (* Both kernels must still satisfy every cross-layer invariant. *)
+  List.iter
+    (fun (i, _, _) ->
+      let a = Audit.run i in
+      Fmt.pr "node %d audit: %d violation(s)@." (Instance.node_id i)
+        (List.length a.Audit.violations))
+    nodes

@@ -31,10 +31,23 @@ type t = {
   table : (int, entry) Hashtbl.t;
   mutable next_id : int;
   mutable reload_retries : int; (* stale-space retries performed *)
+  mutable forwarder : (int -> va:int -> bool) option;
+      (* re-targets signals for threads that migrated away (set by the
+         migration plane) *)
 }
 
 let create ~inst ~kernel ~space_oid =
-  { inst; kernel; space_oid; table = Hashtbl.create 32; next_id = 1; reload_retries = 0 }
+  {
+    inst;
+    kernel;
+    space_oid;
+    table = Hashtbl.create 32;
+    next_id = 1;
+    reload_retries = 0;
+    forwarder = None;
+  }
+
+let set_forwarder t f = t.forwarder <- Some f
 
 let entry t id = Hashtbl.find_opt t.table id
 let oid_of t id = match entry t id with Some e -> Some e.oid | None -> None
@@ -88,6 +101,41 @@ let spawn t ~space_tag ~priority ?affinity ?(lock = false) body =
   | Error err ->
     Hashtbl.remove t.table id;
     Error err
+
+(** Adopt a thread arriving from elsewhere — a migration image or a
+    restored checkpoint — without loading it: the entry holds the saved
+    state (and/or body) until [schedule] loads it through the normal
+    retry/backoff path.  Returns the new local identifier. *)
+let adopt t ~space_tag ~priority ?affinity ?(lock = false) ?saved ?body () =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let e =
+    { id; space_tag; oid = Oid.none; run = Unloaded saved; priority; affinity; lock; body }
+  in
+  Hashtbl.replace t.table id e;
+  id
+
+(** Retire an entry whose thread now lives on another node: the migrated
+    state must not be locally reschedulable.  (Signals that still arrive
+    here go through the migration plane's forwarding stub.) *)
+let retire t id =
+  match entry t id with
+  | None -> ()
+  | Some e ->
+    e.oid <- Oid.none;
+    e.run <- Exited
+
+(** Raise an address-valued signal against the thread with local id [id].
+    A loaded thread gets it directly; a thread that migrated away has no
+    local object anymore, so the registered forwarder (the migration
+    plane's stub) re-targets the signal at the thread's new residence.
+    Returns false if the signal could be delivered nowhere. *)
+let signal t id ~va =
+  match entry t id with
+  | Some e when not (Oid.equal e.oid Oid.none) ->
+    Result.is_ok (Api.post_signal t.inst ~caller:(t.kernel ()) ~thread:e.oid ~va)
+  | _ -> (
+    match t.forwarder with Some f -> f id ~va | None -> false)
 
 (** Deschedule: unload the thread from the Cache Kernel (its state arrives
     through a writeback record and is kept for the next [schedule]). *)

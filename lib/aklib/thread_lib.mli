@@ -45,6 +45,32 @@ val spawn :
 (** Create a thread in the tagged space and load it; returns its stable
     local identifier. *)
 
+val adopt :
+  t ->
+  space_tag:int ->
+  priority:int ->
+  ?affinity:int ->
+  ?lock:bool ->
+  ?saved:Thread_obj.saved ->
+  ?body:(unit -> Hw.Exec.payload) ->
+  unit ->
+  int
+(** Register a thread arriving from elsewhere (migration, checkpoint
+    restore) without loading it; [schedule] loads it. *)
+
+val retire : t -> int -> unit
+(** Mark an entry as living elsewhere (migrated away): it can no longer be
+    scheduled locally. *)
+
+val set_forwarder : t -> (int -> va:int -> bool) -> unit
+(** Install the hook consulted by {!signal} for threads with no local
+    object — the migration plane's forwarding stub. *)
+
+val signal : t -> int -> va:int -> bool
+(** Raise an address-valued signal against a local thread id; signals for
+    threads that migrated away are re-targeted through the forwarder.
+    Returns false when the signal could be delivered nowhere. *)
+
 val deschedule : t -> int -> (unit, Api.error) result
 val schedule : t -> int -> (Oid.t, Api.error) result
 val set_priority : t -> int -> int -> (unit, Api.error) result

@@ -28,6 +28,7 @@ type chaos = {
   redeliver_backoff_us : float; (* delay before a dropped signal is redelivered *)
   stale_rate : float; (* an object load observes a stale space identifier *)
   forward_drop : float; (* a fault forward is dropped (the access refaults) *)
+  migrate_drop : float; (* a migration chunk is lost on the fiber (retransmitted) *)
   crash_at_us : float option; (* halt the whole MPM at this simulated time *)
 }
 
@@ -44,6 +45,7 @@ let chaos_default =
     redeliver_backoff_us = 50.0;
     stale_rate = 0.0;
     forward_drop = 0.0;
+    migrate_drop = 0.0;
     crash_at_us = None;
   }
 
@@ -94,6 +96,20 @@ type t = {
          misbehaving kernel; 0 disables the watchdog *)
   overload_backoff_us : float; (* aklib base backoff on [Overloaded]; doubles *)
   overload_max_retries : int; (* aklib retry budget before surfacing the error *)
+  (* live migration & load balancing *)
+  migrate_chunk_bytes : int;
+      (* payload bytes per fiber-channel migration chunk (capped by the
+         NIC's maximum frame payload) *)
+  migrate_retry_us : float;
+      (* retransmit watchdog: an unacknowledged transfer resends its
+         chunks this many simulated us past the image's wire time
+         (doubling per attempt) *)
+  migrate_max_retries : int; (* retransmit budget before the move is abandoned *)
+  balance_interval_us : float;
+      (* SRM load-balancing policy loop period; 0 disables auto-balancing *)
+  balance_hysteresis : int;
+      (* runnable-thread spread tolerated before the most-loaded node
+         migrates work to the least-loaded one *)
 }
 
 let default =
@@ -121,6 +137,11 @@ let default =
     forward_deadline_us = 0.0;
     overload_backoff_us = 200.0;
     overload_max_retries = 5;
+    migrate_chunk_bytes = 1024;
+    migrate_retry_us = 800.0;
+    migrate_max_retries = 6;
+    balance_interval_us = 0.0;
+    balance_hysteresis = 2;
   }
 
 (* Cycle costs of Cache Kernel suboperations (supervisor code sequences). *)

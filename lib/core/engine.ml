@@ -495,8 +495,13 @@ let step_cpu t ~cpu_id =
 
 (** Advance one node by one step: a due event, a thread step, or an idle
     advance to the next event.  [`Quiescent] means nothing can happen until
-    some external input (another node's message) arrives. *)
-let step_node t =
+    some external input (another node's message) arrives.
+
+    [horizon] caps idle jumps: an idle node may not skip past the point up
+    to which other, still-active nodes could yet send it traffic
+    (conservative lookahead — the cap is the earliest possible arrival of
+    a frame a peer has not sent yet). *)
+let step_node ?(horizon = max_int) t =
   if t.halted then `Quiescent
   else begin
     let cpus = t.node.Hw.Mpm.cpus in
@@ -513,11 +518,12 @@ let step_node t =
     | next_event ->
       (* An idle CPU must not hold back node time (events become due only
          when every CPU has reached them): pull it forward to the earliest
-         of the next event and the other CPUs' clocks. *)
+         of the next event (horizon-capped) and the other CPUs' clocks. *)
+      let next_jump = Option.map (fun et -> min et horizon) next_event in
       let pull_forward cpu_id =
         let me = cpus.(cpu_id) in
         let candidates =
-          let evs = match next_event with Some et -> [ et ] | None -> [] in
+          let evs = match next_jump with Some et -> [ et ] | None -> [] in
           Array.fold_left
             (fun acc (c : Hw.Cpu.t) ->
               if c.Hw.Cpu.local_time > me.Hw.Cpu.local_time then
@@ -525,7 +531,7 @@ let step_node t =
               else acc)
             evs cpus
         in
-        match candidates with
+        match List.filter (fun c -> c > me.Hw.Cpu.local_time) candidates with
         | [] -> false
         | l ->
           Hw.Cpu.idle_until me (List.fold_left min (List.hd l) l);
@@ -535,11 +541,11 @@ let step_node t =
         | [] ->
           if advanced then `Progress
           else (
-            match next_event with
-            | Some et ->
+            match next_jump with
+            | Some et when et > min_time ->
               Array.iter (fun c -> Hw.Cpu.idle_until c et) cpus;
               `Progress
-            | None -> `Quiescent)
+            | Some _ | None -> `Quiescent)
         | cpu_id :: rest -> (
           match step_cpu t ~cpu_id with
           | `Ran -> `Progress
@@ -557,28 +563,54 @@ let sync_clocks t =
 (** Run a cluster of Cache Kernel instances until every node is quiescent,
     the optional simulated-time bound is reached, or [max_steps] engine
     steps have executed.  Returns the number of steps taken. *)
+let node_time (n : Instance.t) =
+  Array.fold_left (fun acc c -> min acc c.Hw.Cpu.local_time) max_int n.node.Hw.Mpm.cpus
+
 let run ?until_us ?(max_steps = 200_000_000) (nodes : Instance.t array) =
   let until = Option.map Hw.Cost.cycles_of_us until_us in
   let steps = ref 0 in
   let continue = ref true in
+  (* Step the laggard node first (ties to the lower index), and cap each
+     node's idle jumps at the earliest instant a still-active peer could
+     deliver to it: a frame not yet sent by a peer at clock [c] cannot
+     arrive before [c + fiber_packet], the smallest link latency.  Peers
+     that reported quiescent this pass cannot originate traffic and do not
+     gate the jump — without that exclusion an idle pair would deadlock
+     each other's clocks. *)
+  let order = Array.init (Array.length nodes) Fun.id in
+  let quiescent = Array.make (Array.length nodes) false in
   while !continue && !steps < max_steps do
+    if Array.length order > 1 then
+      Array.sort
+        (fun a b ->
+          let c = compare (node_time nodes.(a)) (node_time nodes.(b)) in
+          if c <> 0 then c else compare a b)
+        order;
+    Array.fill quiescent 0 (Array.length quiescent) false;
     let progress = ref false in
     Array.iter
-      (fun n ->
+      (fun idx ->
+        let n = nodes.(idx) in
         let past_deadline =
           match until with
           | Some u ->
             Array.for_all (fun c -> c.Hw.Cpu.local_time >= u) n.node.Hw.Mpm.cpus
           | None -> false
         in
-        if not past_deadline then begin
-          match step_node n with
+        if (not !progress) && not past_deadline then begin
+          let horizon = ref max_int in
+          Array.iteri
+            (fun m_idx m ->
+              if m_idx <> idx && (not quiescent.(m_idx)) && not m.halted then
+                horizon := min !horizon (node_time m + Hw.Cost.fiber_packet))
+            nodes;
+          match step_node ~horizon:!horizon n with
           | `Progress ->
             incr steps;
             progress := true
-          | `Quiescent -> ()
+          | `Quiescent -> quiescent.(idx) <- true
         end)
-      nodes;
+      order;
     if not !progress then continue := false
   done;
   Array.iter sync_clocks nodes;

@@ -9,10 +9,12 @@
 
 exception Kernel_bug of string
 
-val step_node : Instance.t -> [ `Progress | `Quiescent ]
+val step_node : ?horizon:int -> Instance.t -> [ `Progress | `Quiescent ]
 (** Advance one node by one step: a due event, a thread step, or an idle
     advance.  [`Quiescent] means nothing can happen until external input
-    (another node's message) arrives. *)
+    (another node's message) arrives.  [horizon] (absolute cycles) caps
+    idle jumps at the earliest instant a peer could still deliver traffic
+    — {!run} derives it from the other nodes' clocks. *)
 
 val sync_clocks : Instance.t -> unit
 (** Level all CPU clocks to the node's latest time (end-of-run idle

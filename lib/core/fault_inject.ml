@@ -111,6 +111,11 @@ let forward_drop t =
   | None -> Pass
   | Some c -> decide t ~site:"fault.forward" ~rate:c.forward_drop
 
+let migrate_drop t =
+  match t.chaos with
+  | None -> Pass
+  | Some c -> decide t ~site:"migrate.drop" ~rate:c.migrate_drop
+
 (** Fate of one backing-store transfer attempt.  A [`Fail] marks the site
     pending, so the retried attempt always comes back [`Ok]; a [`Delay]
     completes on its own and needs no retry. *)

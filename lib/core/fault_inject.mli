@@ -40,6 +40,10 @@ val forward_drop : t -> decision
 (** Site [fault.forward]: a fault forward to the handling kernel is lost;
     the paused access refaults and the retry forwards successfully. *)
 
+val migrate_drop : t -> decision
+(** Site [migrate.drop]: a migration chunk is lost on the fiber channel;
+    the retransmit watchdog resends it (the recovery moment). *)
+
 val io_fate : t -> [ `Ok | `Ok_after_fail | `Fail | `Delay of float ]
 (** Site [bstore]: fate of one backing-store transfer attempt.
     [`Ok_after_fail] is the retry after a [`Fail] (always succeeds);

@@ -35,6 +35,11 @@ type event =
   | Audit_repaired of { check : string; subject : string }
   | Storm of { active : bool; displacements : int }
   | Forward_timeout of { thread : Oid.t; escalated : bool }
+  | Migrate_out of { oid : Oid.t; dst : int; xfer : int; bytes : int }
+  | Migrate_in of { xfer : int; src : int; bytes : int }
+  | Migrate_acked of { xfer : int; ok : bool }
+  | Migrate_forwarded of { xfer : int; va : int }
+  | Checkpointed of { restore : bool; bytes : int }
   | Custom of string
 
 let pp_event ppf = function
@@ -74,6 +79,16 @@ let pp_event ppf = function
   | Forward_timeout { thread; escalated } ->
     Fmt.pf ppf "forward-timeout %a%s" Oid.pp thread
       (if escalated then " (escalated)" else " (re-forwarded)")
+  | Migrate_out { oid; dst; xfer; bytes } ->
+    Fmt.pf ppf "migrate-out %a -> node%d xfer=%d (%d B)" Oid.pp oid dst xfer bytes
+  | Migrate_in { xfer; src; bytes } ->
+    Fmt.pf ppf "migrate-in xfer=%d <- node%d (%d B)" xfer src bytes
+  | Migrate_acked { xfer; ok } ->
+    Fmt.pf ppf "migrate-acked xfer=%d %s" xfer (if ok then "ok" else "failed")
+  | Migrate_forwarded { xfer; va } ->
+    Fmt.pf ppf "migrate-forwarded xfer=%d va=%a" xfer Hw.Addr.pp_addr va
+  | Checkpointed { restore; bytes } ->
+    Fmt.pf ppf "%s %d B" (if restore then "restored" else "checkpointed") bytes
   | Custom s -> Fmt.string ppf s
 
 let event_name = function
@@ -99,6 +114,11 @@ let event_name = function
   | Audit_repaired _ -> "audit_repaired"
   | Storm _ -> "storm"
   | Forward_timeout _ -> "forward_timeout"
+  | Migrate_out _ -> "migrate_out"
+  | Migrate_in _ -> "migrate_in"
+  | Migrate_acked _ -> "migrate_acked"
+  | Migrate_forwarded _ -> "migrate_forwarded"
+  | Checkpointed _ -> "checkpointed"
   | Custom _ -> "custom"
 
 let event_fields ev =
@@ -134,6 +154,14 @@ let event_fields ev =
     [ ("active", Json.Bool active); ("displacements", Json.Int displacements) ]
   | Forward_timeout { thread; escalated } ->
     [ oid "thread" thread; ("escalated", Json.Bool escalated) ]
+  | Migrate_out { oid = o; dst; xfer; bytes } ->
+    [ oid "oid" o; ("dst", Json.Int dst); ("xfer", Json.Int xfer); ("bytes", Json.Int bytes) ]
+  | Migrate_in { xfer; src; bytes } ->
+    [ ("xfer", Json.Int xfer); ("src", Json.Int src); ("bytes", Json.Int bytes) ]
+  | Migrate_acked { xfer; ok } -> [ ("xfer", Json.Int xfer); ("ok", Json.Bool ok) ]
+  | Migrate_forwarded { xfer; va } -> [ ("xfer", Json.Int xfer); ("va", Json.Int va) ]
+  | Checkpointed { restore; bytes } ->
+    [ ("restore", Json.Bool restore); ("bytes", Json.Int bytes) ]
   | Custom s -> [ ("text", Json.String s) ]
 
 type entry = { time : Hw.Cost.cycles; event : event }

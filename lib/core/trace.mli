@@ -29,6 +29,11 @@ type event =
   | Audit_repaired of { check : string; subject : string }
   | Storm of { active : bool; displacements : int }
   | Forward_timeout of { thread : Oid.t; escalated : bool }
+  | Migrate_out of { oid : Oid.t; dst : int; xfer : int; bytes : int }
+  | Migrate_in of { xfer : int; src : int; bytes : int }
+  | Migrate_acked of { xfer : int; ok : bool }
+  | Migrate_forwarded of { xfer : int; va : int }
+  | Checkpointed of { restore : bool; bytes : int }
   | Custom of string
 
 val pp_event : event Fmt.t

@@ -60,6 +60,16 @@ let interprocessor_signal : cycles = 150 (* cross-CPU notification on one MPM *)
 let vme_packet : cycles = 2500 (* VMEbus transfer between MPMs, 100 us *)
 let fiber_packet : cycles = 750 (* 266 Mb fiber channel hop, 30 us *)
 
+(** Wire serialization of [bytes] on the 266 Mb/s fiber: ~33 MB/s is
+    0.75 cycles per byte at 25 MHz.  Frames queue behind each other on a
+    port, so bulk transfers (migration images, DSM pages) pay this per
+    byte on top of the per-hop latency. *)
+let fiber_serialize bytes : cycles = bytes * 3 / 4
+
+(** VMEbus serialization: the shared bus moves ~25 MB/s, one cycle per
+    byte. *)
+let vme_serialize bytes : cycles = bytes
+
 (* Devices *)
 
 let disk_seek : cycles = 250_000 (* 10 ms *)

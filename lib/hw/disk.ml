@@ -53,3 +53,28 @@ let read_now t ~block =
   | None -> Bytes.make Addr.page_size '\000'
 
 let write_now t ~block data = Hashtbl.replace t.blocks block (Bytes.copy data)
+
+(** Concatenate the contents of [blocks] (checkpoint-file export); each
+    read is counted like a boot-time transfer. *)
+let export t ~blocks =
+  let buf = Buffer.create (List.length blocks * Addr.page_size) in
+  List.iter
+    (fun block ->
+      t.reads <- t.reads + 1;
+      Buffer.add_bytes buf (read_now t ~block))
+    blocks;
+  Buffer.to_bytes buf
+
+(** Write a byte string across freshly allocated blocks (zero-padded to
+    page size); returns the blocks in order. *)
+let import t data =
+  let len = Bytes.length data in
+  let n = max 1 ((len + Addr.page_size - 1) / Addr.page_size) in
+  List.init n (fun i ->
+      let page = Bytes.make Addr.page_size '\000' in
+      let off = i * Addr.page_size in
+      Bytes.blit data off page 0 (min Addr.page_size (len - off));
+      let block = alloc_block t in
+      t.writes <- t.writes + 1;
+      write_now t ~block page;
+      block)

@@ -24,3 +24,11 @@ val read_now : t -> block:int -> Bytes.t
 (** Synchronous read for boot-time loading (no latency modelled). *)
 
 val write_now : t -> block:int -> Bytes.t -> unit
+
+val export : t -> blocks:int list -> Bytes.t
+(** Concatenate the contents of [blocks] — how a checkpoint image leaves
+    the simulated disk for a host file. *)
+
+val import : t -> Bytes.t -> int list
+(** Spread a byte string across freshly allocated blocks (zero-padded to
+    page size); returns the blocks in order. *)

@@ -14,24 +14,30 @@ type port = {
   now : unit -> Cost.cycles;
   at : time:Cost.cycles -> (unit -> unit) -> unit;
   mutable failed : bool;
+  mutable tx_free : Cost.cycles;  (* when this port's outbound link drains *)
 }
 
 type link_kind = Vme | Fiber
 
 type t = {
   latency : Cost.cycles;
+  serialize : int -> Cost.cycles;
   mutable ports : port list;
   mutable sent : int;
   mutable dropped : int;
 }
 
 let create ?(kind = Fiber) () =
-  let latency = match kind with Vme -> Cost.vme_packet | Fiber -> Cost.fiber_packet in
-  { latency; ports = []; sent = 0; dropped = 0 }
+  let latency, serialize =
+    match kind with
+    | Vme -> (Cost.vme_packet, Cost.vme_serialize)
+    | Fiber -> (Cost.fiber_packet, Cost.fiber_serialize)
+  in
+  { latency; serialize; ports = []; sent = 0; dropped = 0 }
 
 (** Attach a node.  [deliver] runs on the destination node's event queue. *)
 let attach t ~node_id ~deliver ~now ~at =
-  let port = { node_id; deliver; now; at; failed = false } in
+  let port = { node_id; deliver; now; at; failed = false; tx_free = 0 } in
   t.ports <- port :: t.ports;
   port
 
@@ -51,15 +57,23 @@ let node_failed t node_id =
 let sent t = t.sent
 let dropped t = t.dropped
 
-(** Send [data] from node [src] to node [dst]; delivered after the link
-    latency unless either end has failed. *)
+(** Send [data] from node [src] to node [dst]: the frame first waits for
+    the source port's outbound link to drain, occupies it for the wire
+    serialization time of its length, then arrives after the hop latency —
+    unless either end has failed.  Delivery is stamped on the sender's
+    clock; a receiver that is already past that instant processes the
+    frame at its own current time (the event queue runs past-due events
+    immediately), which models queueing at the receiver. *)
 let send t ~src ~dst ?(tag = 0) data =
   match (port t src, port t dst) with
   | Some sp, Some dp ->
     if sp.failed || dp.failed then t.dropped <- t.dropped + 1
     else begin
       t.sent <- t.sent + 1;
-      let deliver_at = max (sp.now ()) (dp.now ()) + t.latency in
+      let start = max (sp.now ()) sp.tx_free in
+      let drained = start + t.serialize (Bytes.length data) in
+      sp.tx_free <- drained;
+      let deliver_at = drained + t.latency in
       let pkt = { src; dst; data; tag } in
       dp.at ~time:deliver_at (fun () -> if not dp.failed then dp.deliver pkt)
     end

@@ -16,6 +16,12 @@
    address-valued signal. *)
 
 module Fiber = struct
+  (* The transmit window is a fixed memory region on the interface, so a
+     single frame carries at most this many payload bytes: one page plus
+     protocol headers fits (the DSM moves pages in single frames), but
+     larger transfers — object migration images — must be chunked. *)
+  let mtu = 8192
+
   type t = {
     node_id : int;
     net : Interconnect.t;
@@ -43,6 +49,7 @@ module Fiber = struct
   (** Transmit a frame: a single memory-mapped store sequence, so the only
       cost beyond the wire latency is handed to the interconnect. *)
   let transmit t ~dst ?(tag = 0) data =
+    if Bytes.length data > mtu then invalid_arg "Fiber.transmit: frame exceeds mtu";
     t.tx_count <- t.tx_count + 1;
     Interconnect.send t.net ~src:t.node_id ~dst ~tag data
 

@@ -4,6 +4,10 @@
     interface forces a non-trivial driver. *)
 
 module Fiber : sig
+  val mtu : int
+  (** Maximum payload bytes per frame (the memory-mapped transmit window);
+      larger transfers must be chunked by the sender. *)
+
   type t
 
   val create :
@@ -16,7 +20,8 @@ module Fiber : sig
   val set_receiver : t -> (Interconnect.packet -> unit) -> unit
 
   val transmit : t -> dst:int -> ?tag:int -> Bytes.t -> unit
-  (** A memory-mapped store sequence; only the wire latency applies. *)
+  (** A memory-mapped store sequence; only the wire latency applies.
+      @raise Invalid_argument if the frame exceeds {!mtu}. *)
 
   val tx_count : t -> int
   val rx_count : t -> int

@@ -1,0 +1,640 @@
+(* The live-migration plane.
+
+   The paper's writeback images are location-independent, so migrating an
+   object is just: unload it here, ship the image, reload it there through
+   the normal [Api.load_*] path.  This module implements that loop on top
+   of {!Codec}:
+
+   - capture: deschedule/unload the target (an active thread's unload is
+     deferred to its next kernel exit, so capture retries on a timer until
+     the writeback record has landed);
+   - ship: chunk the encoded image to fit the fiber MTU and transmit each
+     chunk through the transport the SRM provides; chunk loss and
+     duplication are recovered by a retransmit watchdog on the source and
+     idempotent reassembly plus re-acks on the destination;
+   - apply: rebuild spaces, segments and page payloads, adopt the threads
+     into the local thread library, and load them through the usual
+     backoff/stale-retry path;
+   - forward: a stub left at the source re-targets signals raised against
+     the old residence during (and after) the transfer window.
+
+   Continuations are not byte-serializable (DESIGN.md section 2): a live
+   in-process move carries the saved execution state through [registry],
+   keyed by (transfer id, source thread tag), and only the *structural*
+   record travels as bytes.  A cross-process restore (checkpoint) finds no
+   residue and restarts threads fresh from their bodies — the same
+   contract as SRM crash recovery. *)
+
+open Cachekernel
+open Aklib
+
+type transport = {
+  send_chunk : dst:int -> xfer:int -> seq:int -> total:int -> part:Bytes.t -> unit;
+  send_ack : dst:int -> xfer:int -> ok:bool -> unit;
+  send_signal : dst:int -> xfer:int -> tag:int -> va:int -> unit;
+}
+
+(* In-process residue of a migrating thread: the part of the image the
+   codec cannot carry.  The destination plane consumes it when the byte
+   image arrives; a restore in another process simply finds nothing. *)
+type residue = {
+  res_saved : Thread_obj.saved option;
+  res_body : (unit -> Hw.Exec.payload) option;
+}
+
+let registry : (int * int, residue) Hashtbl.t = Hashtbl.create 32
+
+type outgoing = {
+  o_dst : int;
+  o_chunks : Bytes.t array;
+  o_bytes : int; (* image size; sets the retransmit horizon *)
+  o_started : float; (* us; pause-time measurement *)
+  mutable o_acked : bool;
+  mutable o_retries : int;
+}
+
+type incoming = { i_src : int; i_total : int; i_parts : (int, Bytes.t) Hashtbl.t }
+
+type t = {
+  ak : App_kernel.t;
+  node_id : int;
+  transport : transport;
+  outgoing : (int, outgoing) Hashtbl.t; (* xfer -> in-flight send *)
+  incoming : (int, incoming) Hashtbl.t; (* xfer -> reassembly *)
+  applied : (int, unit) Hashtbl.t; (* transfers already landed (dup re-ack) *)
+  forwards : (int, int * int) Hashtbl.t; (* local thread id -> (xfer, dst) *)
+  landed : (int * int, int) Hashtbl.t; (* (xfer, src tag) -> local id *)
+  pending : (int, (int * int) list ref) Hashtbl.t;
+      (* signals that arrived before their thread: xfer -> (src tag, va) *)
+  mutable next_xfer : int;
+}
+
+let inst t = t.ak.App_kernel.inst
+let now_us t = Hw.Cost.us_of_cycles (Hw.Mpm.now (inst t).Instance.node)
+
+(* -- forwarding stub (source side) -------------------------------------- *)
+
+(* A signal raised against the old residence of a migrated thread: forward
+   it to the destination plane, which posts it against the thread's new
+   identifier.  Returns false if [id] never migrated from here. *)
+let forward_signal t id ~va =
+  match Hashtbl.find_opt t.forwards id with
+  | None -> false
+  | Some (xfer, dst) ->
+    let i = inst t in
+    Instance.count i "migrate.forwarded";
+    Instance.trace i (Trace.Migrate_forwarded { xfer; va });
+    t.transport.send_signal ~dst ~xfer ~tag:id ~va;
+    true
+
+let create ~ak ~node_id ~transport =
+  let t =
+    {
+      ak;
+      node_id;
+      transport;
+      outgoing = Hashtbl.create 8;
+      incoming = Hashtbl.create 8;
+      applied = Hashtbl.create 8;
+      forwards = Hashtbl.create 8;
+      landed = Hashtbl.create 8;
+      pending = Hashtbl.create 8;
+      next_xfer = 0;
+    }
+  in
+  (* signals raised here against threads that migrated away re-target
+     through the plane *)
+  Thread_lib.set_forwarder ak.App_kernel.threads (fun id ~va -> forward_signal t id ~va);
+  t
+
+let fresh_xfer t =
+  t.next_xfer <- t.next_xfer + 1;
+  (t.node_id * 1_000_000) + t.next_xfer
+
+let in_flight t = Hashtbl.length t.outgoing > 0
+
+(* -- image capture ------------------------------------------------------ *)
+
+let read_frame ak pfn =
+  Hw.Phys_mem.read_bytes ak.App_kernel.inst.Instance.node.Hw.Mpm.mem
+    (Hw.Addr.addr_of_page pfn) Hw.Addr.page_size
+
+let is_zero b = Bytes.for_all (fun c -> c = '\000') b
+
+(* Full content of a segment as codec pages, resolving residency.  Reading
+   is passive: the segment keeps its state, so capture never perturbs the
+   source if the move is later abandoned. *)
+let segment_pages ak (seg : Segment.t) =
+  let pages = ref [] in
+  for page = seg.Segment.pages - 1 downto 0 do
+    let data =
+      match Segment.state seg page with
+      | Segment.Zero -> None
+      | Segment.In_memory r -> Some (read_frame ak r.Segment.pfn)
+      | Segment.On_disk block -> Some (Hw.Disk.read_now ak.App_kernel.disk ~block)
+      | Segment.Cow_of (pseg, ppage) -> (
+        (* deferred copy: the content still lives with the parent *)
+        match Segment.state pseg ppage with
+        | Segment.In_memory r -> Some (read_frame ak r.Segment.pfn)
+        | Segment.On_disk block -> Some (Hw.Disk.read_now ak.App_kernel.disk ~block)
+        | _ -> None)
+    in
+    match data with
+    | Some d when not (is_zero d) -> pages := { Codec.index = page; data = d } :: !pages
+    | _ -> ()
+  done;
+  !pages
+
+(* Unique segments of a space, in region-attach order. *)
+let space_segments (vsp : Segment_mgr.vspace) =
+  List.fold_left
+    (fun acc (r : Region.t) ->
+      if List.exists (fun (s : Segment.t) -> s.Segment.id = r.Region.segment.Segment.id) acc
+      then acc
+      else acc @ [ r.Region.segment ])
+    []
+    (List.rev vsp.Segment_mgr.regions)
+
+let space_image_of ak (vsp : Segment_mgr.vspace) =
+  let regions = List.rev vsp.Segment_mgr.regions in
+  let segs = space_segments vsp in
+  let seg_index (s : Segment.t) =
+    let rec idx i = function
+      | [] -> raise Not_found
+      | (x : Segment.t) :: tl -> if x.Segment.id = s.Segment.id then i else idx (i + 1) tl
+    in
+    idx 0 segs
+  in
+  {
+    Codec.space_tag = vsp.Segment_mgr.tag;
+    space_gen = vsp.Segment_mgr.oid.Oid.gen;
+    segments =
+      List.map
+        (fun (s : Segment.t) ->
+          {
+            Codec.seg_name = s.Segment.name;
+            seg_pages = s.Segment.pages;
+            payload = segment_pages ak s;
+          })
+        segs;
+    regions =
+      List.map
+        (fun (r : Region.t) ->
+          {
+            Codec.va_start = r.Region.va_start;
+            rg_pages = r.Region.pages;
+            seg = seg_index r.Region.segment;
+            seg_offset = r.Region.seg_offset;
+            writable = r.Region.prot = Region.Rw;
+            message_mode = r.Region.message_mode;
+          })
+        regions;
+  }
+
+let thread_image_of ~xfer ~space (e : Thread_lib.entry) =
+  {
+    Codec.thread_tag = e.Thread_lib.id;
+    thread_gen = e.Thread_lib.oid.Oid.gen;
+    program = "";
+    priority = e.Thread_lib.priority;
+    affinity = e.Thread_lib.affinity;
+    locked = e.Thread_lib.lock;
+    space;
+    xfer;
+  }
+
+let deposit_residue ~xfer (e : Thread_lib.entry) =
+  let saved = match e.Thread_lib.run with Thread_lib.Unloaded s -> s | _ -> None in
+  Hashtbl.replace registry (xfer, e.Thread_lib.id)
+    { res_saved = saved; res_body = e.Thread_lib.body }
+
+(* -- shipping ----------------------------------------------------------- *)
+
+let chunk_bytes t =
+  let cfg = (inst t).Instance.config.Config.migrate_chunk_bytes in
+  max 1 (min cfg (Hw.Nic.Fiber.mtu - 64))
+
+let split_chunks t bytes =
+  let n = chunk_bytes t in
+  let len = Bytes.length bytes in
+  let total = max 1 ((len + n - 1) / n) in
+  Array.init total (fun i ->
+      let off = i * n in
+      Bytes.sub bytes off (min n (len - off)))
+
+(* Transmit every chunk of an in-flight transfer.  Each chunk consults the
+   migrate.drop fault site: an injected fault models the frame vanishing on
+   the fiber — the retransmit watchdog is the recovery moment. *)
+let send_chunks t ~dst ~xfer (chunks : Bytes.t array) =
+  let i = inst t in
+  Array.iteri
+    (fun seq part ->
+      match Fault_inject.migrate_drop i.Instance.fi with
+      | Fault_inject.Inject ->
+        Fault_inject.inject i.Instance.fi ~site:"migrate.drop";
+        Instance.count i "migrate.chunks_dropped"
+      | Fault_inject.After_inject ->
+        Fault_inject.recover i.Instance.fi ~site:"migrate.drop";
+        Instance.count i "migrate.chunks_out";
+        t.transport.send_chunk ~dst ~xfer ~seq ~total:(Array.length chunks) ~part
+      | Fault_inject.Pass ->
+        Instance.count i "migrate.chunks_out";
+        t.transport.send_chunk ~dst ~xfer ~seq ~total:(Array.length chunks) ~part)
+    chunks
+
+let rec arm_watchdog t ~xfer =
+  let i = inst t in
+  let cfg = i.Instance.config in
+  match Hashtbl.find_opt t.outgoing xfer with
+  | None -> ()
+  | Some o ->
+    (* The image cannot be acked before its wire time has elapsed — plus a
+       proportional allowance for the receiver working through the chunk
+       arrivals — so the timer counts [retry_us] (doubling per retry) from
+       that horizon. *)
+    let wire_us = Hw.Cost.us_of_cycles (Hw.Cost.fiber_serialize o.o_bytes) in
+    let delay_us =
+      (wire_us *. 1.1) +. (cfg.Config.migrate_retry_us *. float_of_int (1 lsl o.o_retries))
+    in
+    Hw.Mpm.after i.Instance.node ~delay:(Hw.Cost.cycles_of_us delay_us) (fun () ->
+        match Hashtbl.find_opt t.outgoing xfer with
+        | None -> ()
+        | Some o when o.o_acked -> ()
+        | Some o ->
+          if o.o_retries >= cfg.Config.migrate_max_retries then begin
+            Hashtbl.remove t.outgoing xfer;
+            Instance.count i "migrate.abandoned"
+          end
+          else begin
+            o.o_retries <- o.o_retries + 1;
+            Instance.count i "migrate.retransmits";
+            send_chunks t ~dst:o.o_dst ~xfer o.o_chunks;
+            arm_watchdog t ~xfer
+          end)
+
+let ship t ~dst ~xfer ~oid img =
+  let i = inst t in
+  let bytes = Codec.encode img in
+  let chunks = split_chunks t bytes in
+  Hashtbl.replace t.outgoing xfer
+    {
+      o_dst = dst;
+      o_chunks = chunks;
+      o_bytes = Bytes.length bytes;
+      o_started = now_us t;
+      o_acked = false;
+      o_retries = 0;
+    };
+  Metrics.incr ~by:(Bytes.length bytes) i.Instance.metrics "migrate.bytes_out";
+  Instance.trace i (Trace.Migrate_out { oid; dst; xfer; bytes = Bytes.length bytes });
+  send_chunks t ~dst ~xfer chunks;
+  arm_watchdog t ~xfer
+
+(* -- thread migration --------------------------------------------------- *)
+
+let capture_thread t ~dst ~xfer (e : Thread_lib.entry) =
+  let i = inst t in
+  deposit_residue ~xfer e;
+  let oid = e.Thread_lib.oid in
+  let img =
+    {
+      Codec.src_node = t.node_id;
+      spaces = [];
+      threads = [ thread_image_of ~xfer ~space:None e ];
+      extras = [];
+    }
+  in
+  Thread_lib.retire t.ak.App_kernel.threads e.Thread_lib.id;
+  Hashtbl.replace t.forwards e.Thread_lib.id (xfer, dst);
+  Instance.count i "migrate.moves";
+  ship t ~dst ~xfer ~oid img
+
+let capture_retry_us = 100.0
+let capture_max_attempts = 16
+
+(* An active thread's unload is deferred to its next kernel exit
+   (api.ml's unload_pending), so the writeback record may not have landed
+   yet when [deschedule] returns: poll on a timer until the entry shows
+   the saved state. *)
+let rec try_capture_thread t ~dst ~xfer ~id ~attempts =
+  let i = inst t in
+  match Thread_lib.entry t.ak.App_kernel.threads id with
+  | None | Some { Thread_lib.run = Thread_lib.Exited; _ } -> Instance.count i "migrate.aborted"
+  | Some ({ Thread_lib.run = Thread_lib.Unloaded _; _ } as e) -> capture_thread t ~dst ~xfer e
+  | Some ({ Thread_lib.run = Thread_lib.Loaded; _ } as e) -> (
+    match Backoff.with_backoff i (fun () -> Thread_lib.deschedule t.ak.App_kernel.threads id) with
+    | Error _ -> Instance.count i "migrate.aborted"
+    | Ok () ->
+      (match e.Thread_lib.run with
+      | Thread_lib.Unloaded _ -> capture_thread t ~dst ~xfer e
+      | _ when attempts < capture_max_attempts ->
+        Instance.count i "migrate.capture_deferred";
+        Hw.Mpm.after i.Instance.node ~delay:(Hw.Cost.cycles_of_us capture_retry_us) (fun () ->
+            try_capture_thread t ~dst ~xfer ~id ~attempts:(attempts + 1))
+      | _ -> Instance.count i "migrate.aborted"))
+
+(* Move one thread of the kernel's own address space to [dst].  Returns
+   the transfer id immediately; capture and shipping complete
+   asynchronously (watch migrate.pause_us / the Migrate_acked trace). *)
+let move_thread t ~dst id =
+  match Thread_lib.entry t.ak.App_kernel.threads id with
+  | None -> Error Api.Stale_reference
+  | Some { Thread_lib.run = Thread_lib.Exited; _ } -> Error Api.Stale_reference
+  | Some _ ->
+    let xfer = fresh_xfer t in
+    try_capture_thread t ~dst ~xfer ~id ~attempts:0;
+    Ok xfer
+
+(* -- space migration ---------------------------------------------------- *)
+
+(* Release the source-side storage of a migrated space: frames whose only
+   users were this space's mappings, and backing-store blocks.  Shared
+   residencies (other spaces still map the frame) are left alone. *)
+let release_space t (vsp : Segment_mgr.vspace) =
+  let ak = t.ak in
+  List.iter
+    (fun (seg : Segment.t) ->
+      for page = 0 to seg.Segment.pages - 1 do
+        match Segment.state seg page with
+        | Segment.In_memory res when res.Segment.mappers = [] ->
+          (match res.Segment.backing with
+          | Some block -> Backing_store.free_block ak.App_kernel.store block
+          | None -> ());
+          Frame_alloc.free ak.App_kernel.frames res.Segment.pfn;
+          Segment.set_state seg page Segment.Zero
+        | Segment.On_disk block ->
+          Backing_store.free_block ak.App_kernel.store block;
+          Segment.set_state seg page Segment.Zero
+        | _ -> ()
+      done)
+    (space_segments vsp);
+  Hashtbl.remove ak.App_kernel.mgr.Segment_mgr.spaces vsp.Segment_mgr.tag
+
+let capture_space t ~dst ~xfer (vsp : Segment_mgr.vspace) =
+  let i = inst t in
+  let simg = space_image_of t.ak vsp in
+  let entries = ref [] in
+  Thread_lib.iter t.ak.App_kernel.threads (fun e ->
+      if
+        e.Thread_lib.space_tag = vsp.Segment_mgr.tag
+        && e.Thread_lib.run <> Thread_lib.Exited
+      then entries := e :: !entries);
+  let entries =
+    List.sort (fun (a : Thread_lib.entry) b -> compare a.Thread_lib.id b.Thread_lib.id) !entries
+  in
+  let threads =
+    List.map
+      (fun e ->
+        deposit_residue ~xfer e;
+        thread_image_of ~xfer ~space:(Some 0) e)
+      entries
+  in
+  let oid = vsp.Segment_mgr.oid in
+  let img = { Codec.src_node = t.node_id; spaces = [ simg ]; threads; extras = [] } in
+  List.iter
+    (fun (e : Thread_lib.entry) ->
+      Thread_lib.retire t.ak.App_kernel.threads e.Thread_lib.id;
+      Hashtbl.replace t.forwards e.Thread_lib.id (xfer, dst))
+    entries;
+  release_space t vsp;
+  Instance.count i "migrate.space_moves";
+  ship t ~dst ~xfer ~oid img
+
+let rec try_capture_space t ~dst ~xfer ~tag ~attempts =
+  let i = inst t in
+  match Segment_mgr.space_by_tag t.ak.App_kernel.mgr tag with
+  | None -> Instance.count i "migrate.aborted"
+  | Some vsp -> (
+    (* unload threads first (space unload would write them back anyway,
+       but descheduling through the thread library keeps its records in
+       step), then the space itself *)
+    Thread_lib.iter t.ak.App_kernel.threads (fun e ->
+        if e.Thread_lib.space_tag = tag && e.Thread_lib.run = Thread_lib.Loaded then
+          ignore (Thread_lib.deschedule t.ak.App_kernel.threads e.Thread_lib.id));
+    let unloaded =
+      if not vsp.Segment_mgr.loaded then Ok ()
+      else
+        Backoff.with_backoff i (fun () ->
+            Api.unload_space i ~caller:(App_kernel.oid t.ak) vsp.Segment_mgr.oid)
+    in
+    let quiesced =
+      match unloaded with
+      | Error _ -> false
+      | Ok () ->
+        (* any thread still Loaded has a deferred writeback in flight *)
+        let busy = ref false in
+        Thread_lib.iter t.ak.App_kernel.threads (fun e ->
+            if e.Thread_lib.space_tag = tag && e.Thread_lib.run = Thread_lib.Loaded then
+              busy := true);
+        (not !busy) && not vsp.Segment_mgr.loaded
+    in
+    if quiesced then capture_space t ~dst ~xfer vsp
+    else if attempts < capture_max_attempts then begin
+      Instance.count i "migrate.capture_deferred";
+      Hw.Mpm.after i.Instance.node ~delay:(Hw.Cost.cycles_of_us capture_retry_us) (fun () ->
+          try_capture_space t ~dst ~xfer ~tag ~attempts:(attempts + 1))
+    end
+    else Instance.count i "migrate.aborted")
+
+(* Move a whole address space — regions, segment contents and resident
+   threads — to [dst].  Asynchronous, like {!move_thread}. *)
+let move_space t ~dst tag =
+  match Segment_mgr.space_by_tag t.ak.App_kernel.mgr tag with
+  | None -> Error Api.Stale_reference
+  | Some _ ->
+    let xfer = fresh_xfer t in
+    try_capture_space t ~dst ~xfer ~tag ~attempts:0;
+    Ok xfer
+
+(* -- applying an image (destination side) ------------------------------- *)
+
+let build_space ak (s : Codec.space_image) =
+  let mgr = ak.App_kernel.mgr in
+  let segs =
+    List.map
+      (fun (si : Codec.segment_image) ->
+        let seg = Segment_mgr.create_segment mgr ~name:si.Codec.seg_name ~pages:si.Codec.seg_pages in
+        List.iter
+          (fun (p : Codec.page) ->
+            Segment_mgr.write_segment_now mgr seg
+              ~offset:(p.Codec.index * Hw.Addr.page_size)
+              p.Codec.data)
+          si.Codec.payload;
+        seg)
+      s.Codec.segments
+  in
+  match Segment_mgr.create_space mgr with
+  | Error e -> Error (Fmt.str "create_space: %a" Api.pp_error e)
+  | Ok vsp ->
+    List.iter
+      (fun (r : Codec.region_image) ->
+        let segment = List.nth segs r.Codec.seg in
+        Segment_mgr.attach_region mgr vsp
+          (Region.v
+             ~prot:(if r.Codec.writable then Region.Rw else Region.Ro)
+             ~message_mode:r.Codec.message_mode ~va_start:r.Codec.va_start ~pages:r.Codec.rg_pages
+             ~segment ~seg_offset:r.Codec.seg_offset ()))
+      s.Codec.regions;
+    Ok vsp
+
+(* Rebuild every space of an image locally; shared with {!Checkpoint}. *)
+let build_spaces ak (spaces : Codec.space_image list) =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: tl -> ( match build_space ak s with Ok v -> go (v :: acc) tl | Error e -> Error e)
+  in
+  go [] spaces
+
+let own_space_tag ak =
+  match ak.App_kernel.own_space with
+  | Some v -> Ok v.Segment_mgr.tag
+  | None -> (
+    match App_kernel.init_own_space ak with
+    | Ok v -> Ok v.Segment_mgr.tag
+    | Error e -> Error (Fmt.str "own space: %a" Api.pp_error e))
+
+let deliver_local t ~local_id ~va =
+  let i = inst t in
+  match Thread_lib.entry t.ak.App_kernel.threads local_id with
+  | Some e when e.Thread_lib.run = Thread_lib.Loaded -> (
+    match
+      Api.post_signal i ~caller:(App_kernel.oid t.ak) ~thread:e.Thread_lib.oid ~va
+    with
+    | Ok () -> Instance.count i "migrate.signals_delivered"
+    | Error _ -> Instance.count i "migrate.signals_dropped")
+  | Some _ | None -> Instance.count i "migrate.signals_dropped"
+
+let apply t ~xfer (img : Codec.image) =
+  let i = inst t in
+  match build_spaces t.ak img.Codec.spaces with
+  | Error e -> Error e
+  | Ok vsps -> (
+    match own_space_tag t.ak with
+    | Error e -> Error e
+    | Ok own ->
+      List.iter
+        (fun (th : Codec.thread_image) ->
+          let space_tag =
+            match th.Codec.space with
+            | Some idx -> (List.nth vsps idx).Segment_mgr.tag
+            | None -> own
+          in
+          let key = (th.Codec.xfer, th.Codec.thread_tag) in
+          let res = Hashtbl.find_opt registry key in
+          Hashtbl.remove registry key;
+          let saved = Option.bind res (fun r -> r.res_saved) in
+          let body = Option.bind res (fun r -> r.res_body) in
+          let id =
+            Thread_lib.adopt t.ak.App_kernel.threads ~space_tag ~priority:th.Codec.priority
+              ?affinity:th.Codec.affinity ~lock:th.Codec.locked ?saved ?body ()
+          in
+          Hashtbl.replace t.landed (xfer, th.Codec.thread_tag) id;
+          (match Thread_lib.schedule t.ak.App_kernel.threads id with
+          | Ok _ -> Instance.count i "migrate.adopted"
+          | Error _ -> Instance.count i "migrate.load_deferred");
+          (* deliver signals that beat the image here *)
+          match Hashtbl.find_opt t.pending xfer with
+          | None -> ()
+          | Some l ->
+            let mine, rest =
+              List.partition (fun (tag, _) -> tag = th.Codec.thread_tag) !l
+            in
+            l := rest;
+            List.iter (fun (_, va) -> deliver_local t ~local_id:id ~va) mine)
+        img.Codec.threads;
+      Ok ())
+
+(* -- receive side ------------------------------------------------------- *)
+
+let recv_chunk t ~src ~xfer ~seq ~total ~part =
+  let i = inst t in
+  if Hashtbl.mem t.applied xfer then
+    (* a retransmission crossed our ack: re-ack, idempotently *)
+    t.transport.send_ack ~dst:src ~xfer ~ok:true
+  else begin
+    let inc =
+      match Hashtbl.find_opt t.incoming xfer with
+      | Some inc -> inc
+      | None ->
+        let inc = { i_src = src; i_total = max 1 total; i_parts = Hashtbl.create 8 } in
+        Hashtbl.replace t.incoming xfer inc;
+        inc
+    in
+    if seq >= 0 && seq < inc.i_total && not (Hashtbl.mem inc.i_parts seq) then begin
+      Hashtbl.replace inc.i_parts seq part;
+      Instance.count i "migrate.chunks_in"
+    end;
+    if Hashtbl.length inc.i_parts = inc.i_total then begin
+      let buf = Buffer.create 4096 in
+      for s = 0 to inc.i_total - 1 do
+        Buffer.add_bytes buf (Hashtbl.find inc.i_parts s)
+      done;
+      let bytes = Buffer.to_bytes buf in
+      Hashtbl.remove t.incoming xfer;
+      Hashtbl.replace t.applied xfer ();
+      Metrics.incr ~by:(Bytes.length bytes) i.Instance.metrics "migrate.bytes_in";
+      Instance.trace i (Trace.Migrate_in { xfer; src; bytes = Bytes.length bytes });
+      match Codec.decode bytes with
+      | Error msg ->
+        Logs.warn (fun m -> m "migrate: rejecting image for xfer %d: %s" xfer msg);
+        Instance.count i "migrate.decode_errors";
+        t.transport.send_ack ~dst:src ~xfer ~ok:false
+      | Ok img -> (
+        match apply t ~xfer img with
+        | Ok () -> t.transport.send_ack ~dst:src ~xfer ~ok:true
+        | Error msg ->
+          Logs.warn (fun m -> m "migrate: apply failed for xfer %d: %s" xfer msg);
+          Instance.count i "migrate.apply_errors";
+          t.transport.send_ack ~dst:src ~xfer ~ok:false)
+    end
+  end
+
+let recv_ack t ~xfer ~ok =
+  let i = inst t in
+  match Hashtbl.find_opt t.outgoing xfer with
+  | None -> () (* duplicate ack *)
+  | Some o ->
+    o.o_acked <- true;
+    Hashtbl.remove t.outgoing xfer;
+    Instance.trace i (Trace.Migrate_acked { xfer; ok });
+    if ok then begin
+      Instance.observe i "migrate.pause_us" (now_us t -. o.o_started);
+      Instance.count i "migrate.completed"
+    end
+    else Instance.count i "migrate.failed"
+
+let recv_signal t ~xfer ~tag ~va =
+  match Hashtbl.find_opt t.landed (xfer, tag) with
+  | Some local_id -> deliver_local t ~local_id ~va
+  | None ->
+    let l =
+      match Hashtbl.find_opt t.pending xfer with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.replace t.pending xfer l;
+        l
+    in
+    l := (tag, va) :: !l
+
+(* -- balancing helper --------------------------------------------------- *)
+
+(* The cheapest profitable victim: the lowest-id loaded own-space thread
+   that is not locked, pinned, or already a forwarding stub. *)
+let pick_movable t =
+  let own =
+    match t.ak.App_kernel.own_space with Some v -> v.Segment_mgr.tag | None -> -1
+  in
+  let best = ref None in
+  Thread_lib.iter t.ak.App_kernel.threads (fun e ->
+      if
+        e.Thread_lib.run = Thread_lib.Loaded
+        && (not e.Thread_lib.lock)
+        && e.Thread_lib.affinity = None
+        && e.Thread_lib.space_tag = own
+        && not (Hashtbl.mem t.forwards e.Thread_lib.id)
+      then
+        match !best with
+        | Some b when b <= e.Thread_lib.id -> ()
+        | _ -> best := Some e.Thread_lib.id);
+  !best

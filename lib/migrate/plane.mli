@@ -1,0 +1,61 @@
+(** The live-migration plane: capture → ship → apply → forward.
+
+    The paper's writeback images are location-independent, so a migration
+    is an unload at the source, a chunked transfer of the {!Codec} image
+    over the transport the SRM provides, and a reload at the destination
+    through the normal [Api.load_*] path (backoff and stale-id retry
+    included).  Chunk loss/duplication is recovered by a retransmit
+    watchdog plus idempotent reassembly and re-acks; a forwarding stub at
+    the source re-targets signals raised against the old residence.
+
+    Suspended continuations travel through an in-process registry keyed by
+    (transfer id, source thread tag) — the codec carries only structural
+    state (DESIGN.md section 2's register-file substitution). *)
+
+open Cachekernel
+open Aklib
+
+(** Send closures the owner (the SRM's distributed layer) provides; the
+    plane never touches the wire format itself. *)
+type transport = {
+  send_chunk : dst:int -> xfer:int -> seq:int -> total:int -> part:Bytes.t -> unit;
+  send_ack : dst:int -> xfer:int -> ok:bool -> unit;
+  send_signal : dst:int -> xfer:int -> tag:int -> va:int -> unit;
+}
+
+type t
+
+val create : ak:App_kernel.t -> node_id:int -> transport:transport -> t
+
+val move_thread : t -> dst:int -> int -> (int, Api.error) result
+(** Migrate the thread with the given local id (own-space threads only) to
+    node [dst].  Returns the transfer id immediately; capture and
+    shipping complete asynchronously — watch the [Migrate_acked] trace or
+    the [migrate.pause_us] metric. *)
+
+val move_space : t -> dst:int -> int -> (int, Api.error) result
+(** Migrate a whole address space (tag) with its regions, segment contents
+    and threads. *)
+
+val in_flight : t -> bool
+(** Any transfer not yet acked? *)
+
+val forward_signal : t -> int -> va:int -> bool
+(** Source-side stub: forward a signal aimed at a migrated-away thread
+    (by its old local id) to its new residence.  False if the id never
+    migrated from this node. *)
+
+(** {1 Receive side — called by the transport owner} *)
+
+val recv_chunk : t -> src:int -> xfer:int -> seq:int -> total:int -> part:Bytes.t -> unit
+val recv_ack : t -> xfer:int -> ok:bool -> unit
+val recv_signal : t -> xfer:int -> tag:int -> va:int -> unit
+
+(** {1 Image helpers shared with {!Checkpoint}} *)
+
+val space_image_of : App_kernel.t -> Segment_mgr.vspace -> Codec.space_image
+val build_spaces : App_kernel.t -> Codec.space_image list -> (Segment_mgr.vspace list, string) result
+
+val pick_movable : t -> int option
+(** Lowest-id loaded, unlocked, unpinned own-space thread — the balancing
+    loop's victim choice. *)

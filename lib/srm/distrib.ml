@@ -7,6 +7,12 @@
    all of a gang's threads at (nearly) the same time across nodes, the
    pattern section 2.3 describes for large parallel applications.
 
+   The same channel carries the migration plane's traffic: image chunks,
+   acks and forwarded signals ({!Migrate.Plane}), and — when
+   [Config.balance_interval_us] is set — a periodic balancing loop that
+   moves runnable threads from the most- to the least-loaded node until
+   the spread is within [Config.balance_hysteresis].
+
    Messages travel over the fiber-channel NIC; reception is handled in the
    SRM's driver context.  (The prototype runs these exchanges over the
    object-oriented RPC library; the wire path and latency here are the
@@ -17,30 +23,56 @@ open Cachekernel
 type message =
   | Load_report of { node : int; runnable : int }
   | Coschedule of { gang : int; priority : int }
+  | Migrate_chunk of { xfer : int; seq : int; total : int; part : Bytes.t }
+  | Migrate_ack of { xfer : int; ok : bool }
+  | Migrate_signal of { xfer : int; tag : int; va : int }
 
-(* 3-word wire encoding *)
+(* Wire encoding: little-endian int32 words, word 0 the tag.  Fixed-size
+   messages are 3–4 words; Migrate_chunk carries a length-prefixed byte
+   payload after a 5-word header. *)
+
+let words tag ws =
+  let b = Bytes.create (4 * (1 + List.length ws)) in
+  Bytes.set_int32_le b 0 (Int32.of_int tag);
+  List.iteri (fun i w -> Bytes.set_int32_le b (4 * (i + 1)) (Int32.of_int w)) ws;
+  b
+
 let encode = function
-  | Load_report { node; runnable } ->
-    let b = Bytes.create 12 in
-    Bytes.set_int32_le b 0 0l;
-    Bytes.set_int32_le b 4 (Int32.of_int node);
-    Bytes.set_int32_le b 8 (Int32.of_int runnable);
-    b
-  | Coschedule { gang; priority } ->
-    let b = Bytes.create 12 in
-    Bytes.set_int32_le b 0 1l;
-    Bytes.set_int32_le b 4 (Int32.of_int gang);
-    Bytes.set_int32_le b 8 (Int32.of_int priority);
-    b
+  | Load_report { node; runnable } -> words 0 [ node; runnable ]
+  | Coschedule { gang; priority } -> words 1 [ gang; priority ]
+  | Migrate_chunk { xfer; seq; total; part } ->
+    let hdr = words 2 [ xfer; seq; total; Bytes.length part ] in
+    Bytes.cat hdr part
+  | Migrate_ack { xfer; ok } -> words 3 [ xfer; (if ok then 1 else 0) ]
+  | Migrate_signal { xfer; tag; va } -> words 4 [ xfer; tag; va ]
 
 let decode b =
-  if Bytes.length b < 12 then None
+  let len = Bytes.length b in
+  if len < 12 then None
   else
     let w i = Int32.to_int (Bytes.get_int32_le b (4 * i)) in
     match w 0 with
     | 0 -> Some (Load_report { node = w 1; runnable = w 2 })
     | 1 -> Some (Coschedule { gang = w 1; priority = w 2 })
+    | 2 ->
+      if len < 20 then None
+      else
+        let plen = w 4 in
+        if plen < 0 || len < 20 + plen then None
+        else
+          Some
+            (Migrate_chunk { xfer = w 1; seq = w 2; total = w 3; part = Bytes.sub b 20 plen })
+    | 3 -> (
+      match w 2 with
+      | 0 -> Some (Migrate_ack { xfer = w 1; ok = false })
+      | 1 -> Some (Migrate_ack { xfer = w 1; ok = true })
+      | _ -> None)
+    | 4 -> if len < 16 then None else Some (Migrate_signal { xfer = w 1; tag = w 2; va = w 3 })
     | _ -> None
+
+(* Co-schedule applications kept for skew measurement: newest first,
+   bounded — an unbounded log was the subsystem's only unbounded state. *)
+let max_cosched_kept = 64
 
 type t = {
   srm : Manager.t;
@@ -48,8 +80,10 @@ type t = {
   node_id : int;
   mutable peers : int list;
   gangs : (int, Oid.t list ref) Hashtbl.t; (* gang id -> local member threads *)
-  mutable load_reports : (int * int) list; (* node -> last reported runnable *)
+  load_reports : (int, int) Hashtbl.t; (* node -> last reported runnable *)
   mutable cosched_applied : (int * float) list; (* gang -> local apply time (us) *)
+  plane : Migrate.Plane.t;
+  mutable balancing : bool; (* the periodic loop is armed *)
 }
 
 (* Apply a co-schedule request locally: raise every member thread of the
@@ -60,27 +94,114 @@ let apply_cosched t ~gang ~priority =
   | Some members ->
     let inst = t.srm.Manager.inst in
     List.iter
-      (fun th_oid ->
-        ignore (Api.set_priority inst ~caller:(Manager.oid t.srm) th_oid priority))
+      (fun th_oid -> ignore (Api.set_priority inst ~caller:(Manager.oid t.srm) th_oid priority))
       !members;
     t.cosched_applied <-
-      (gang, Hw.Cost.us_of_cycles (Hw.Mpm.now inst.Instance.node)) :: t.cosched_applied
+      ((gang, Hw.Cost.us_of_cycles (Hw.Mpm.now inst.Instance.node)) :: t.cosched_applied
+      |> List.filteri (fun i _ -> i < max_cosched_kept))
 
 let handle t (pkt : Hw.Interconnect.packet) =
   match decode pkt.Hw.Interconnect.data with
-  | Some (Load_report { node; runnable }) ->
-    t.load_reports <- (node, runnable) :: List.remove_assoc node t.load_reports
+  | Some (Load_report { node; runnable }) -> Hashtbl.replace t.load_reports node runnable
   | Some (Coschedule { gang; priority }) -> apply_cosched t ~gang ~priority
+  | Some (Migrate_chunk { xfer; seq; total; part }) ->
+    Migrate.Plane.recv_chunk t.plane ~src:pkt.Hw.Interconnect.src ~xfer ~seq ~total ~part
+  | Some (Migrate_ack { xfer; ok }) -> Migrate.Plane.recv_ack t.plane ~xfer ~ok
+  | Some (Migrate_signal { xfer; tag; va }) -> Migrate.Plane.recv_signal t.plane ~xfer ~tag ~va
   | None -> ()
 
+let local_runnable t = Scheduler.length t.srm.Manager.inst.Instance.sched
+
+(** Broadcast current load to all peers. *)
+let report_load t =
+  let runnable = local_runnable t in
+  Hashtbl.replace t.load_reports t.node_id runnable;
+  List.iter
+    (fun peer ->
+      Hw.Nic.Fiber.transmit t.nic ~dst:peer (encode (Load_report { node = t.node_id; runnable })))
+    t.peers
+
+(* Reports merged with the live local count, in ascending node order —
+   every ranking below is deterministic. *)
+let merged_reports t =
+  Hashtbl.replace t.load_reports t.node_id (local_runnable t);
+  Hashtbl.fold (fun node runnable acc -> (node, runnable) :: acc) t.load_reports []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(** The node with the fewest runnable threads — the placement hint
+    distributed scheduling uses.  Ties break to the lowest node id; the
+    local node's own count is always live, never a stale report. *)
+let least_loaded t =
+  match merged_reports t with
+  | [] -> None
+  | hd :: tl ->
+    Some (fst (List.fold_left (fun (bn, bv) (n, v) -> if v < bv then (n, v) else (bn, bv)) hd tl))
+
+let most_loaded t =
+  match merged_reports t with
+  | [] -> None
+  | hd :: tl ->
+    Some (fst (List.fold_left (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv)) hd tl))
+
+(* One balancing step: if this node is the most loaded and the spread to
+   the least-loaded node exceeds the hysteresis band, migrate one movable
+   thread there.  One move per tick — the next tick sees the new loads. *)
+let balance_tick t =
+  let inst = t.srm.Manager.inst in
+  Instance.count inst "balance.ticks";
+  report_load t;
+  match merged_reports t with
+  | [] | [ _ ] -> ()
+  | hd :: tl ->
+    let dst, low =
+      List.fold_left (fun (bn, bv) (n, v) -> if v < bv then (n, v) else (bn, bv)) hd tl
+    in
+    let src, high =
+      List.fold_left (fun (bn, bv) (n, v) -> if v > bv then (n, v) else (bn, bv)) hd tl
+    in
+    if
+      src = t.node_id && dst <> t.node_id
+      && high - low > inst.Instance.config.Config.balance_hysteresis
+      && not (Migrate.Plane.in_flight t.plane)
+    then
+      match Migrate.Plane.pick_movable t.plane with
+      | None -> ()
+      | Some id -> (
+        match Migrate.Plane.move_thread t.plane ~dst id with
+        | Ok _ -> Instance.count inst "balance.moves"
+        | Error _ -> ())
+
+let rec arm_balance t =
+  let inst = t.srm.Manager.inst in
+  let interval = inst.Instance.config.Config.balance_interval_us in
+  if interval > 0.0 && t.balancing then
+    Hw.Mpm.after inst.Instance.node ~delay:(Hw.Cost.cycles_of_us interval) (fun () ->
+        if t.balancing then begin
+          balance_tick t;
+          arm_balance t
+        end)
+
 (** Attach the SRM to the interconnect: creates the node's fiber NIC and
-    starts handling coordination traffic. *)
+    starts handling coordination traffic (and the balancing loop, when
+    [Config.balance_interval_us] is set). *)
 let start srm ~net =
   let inst = srm.Manager.inst in
   let node = inst.Instance.node in
   let nic =
     Hw.Nic.Fiber.create ~node_id:node.Hw.Mpm.node_id ~net ~events:node.Hw.Mpm.events
       ~now:(fun () -> Hw.Mpm.now node)
+  in
+  let transmit msg ~dst = Hw.Nic.Fiber.transmit nic ~dst (encode msg) in
+  let transport =
+    {
+      Migrate.Plane.send_chunk =
+        (fun ~dst ~xfer ~seq ~total ~part -> transmit (Migrate_chunk { xfer; seq; total; part }) ~dst);
+      send_ack = (fun ~dst ~xfer ~ok -> transmit (Migrate_ack { xfer; ok }) ~dst);
+      send_signal = (fun ~dst ~xfer ~tag ~va -> transmit (Migrate_signal { xfer; tag; va }) ~dst);
+    }
+  in
+  let plane =
+    Migrate.Plane.create ~ak:srm.Manager.ak ~node_id:node.Hw.Mpm.node_id ~transport
   in
   let t =
     {
@@ -89,44 +210,37 @@ let start srm ~net =
       node_id = node.Hw.Mpm.node_id;
       peers = [];
       gangs = Hashtbl.create 8;
-      load_reports = [];
+      load_reports = Hashtbl.create 8;
       cosched_applied = [];
+      plane;
+      balancing = inst.Instance.config.Config.balance_interval_us > 0.0;
     }
   in
   Hw.Nic.Fiber.set_receiver nic (fun pkt -> handle t pkt);
+  arm_balance t;
   t
 
 let add_peer t node_id = if node_id <> t.node_id then t.peers <- node_id :: t.peers
 
 (** Register local member threads of a gang. *)
 let register_gang t ~gang members =
-  (match Hashtbl.find_opt t.gangs gang with
+  match Hashtbl.find_opt t.gangs gang with
   | Some l -> l := members @ !l
-  | None -> Hashtbl.replace t.gangs gang (ref members))
-
-(** Broadcast current load to all peers. *)
-let report_load t =
-  let runnable = Scheduler.length t.srm.Manager.inst.Instance.sched in
-  t.load_reports <- (t.node_id, runnable) :: List.remove_assoc t.node_id t.load_reports;
-  List.iter
-    (fun peer ->
-      Hw.Nic.Fiber.transmit t.nic ~dst:peer (encode (Load_report { node = t.node_id; runnable })))
-    t.peers
+  | None -> Hashtbl.replace t.gangs gang (ref members)
 
 (** Co-schedule a gang across all nodes: apply locally and tell peers. *)
 let coschedule t ~gang ~priority =
   apply_cosched t ~gang ~priority;
   List.iter
-    (fun peer ->
-      Hw.Nic.Fiber.transmit t.nic ~dst:peer (encode (Coschedule { gang; priority })))
+    (fun peer -> Hw.Nic.Fiber.transmit t.nic ~dst:peer (encode (Coschedule { gang; priority })))
     t.peers
 
-(** The node (by load report) with the fewest runnable threads — the
-    placement hint distributed scheduling uses. *)
-let least_loaded t =
-  match t.load_reports with
-  | [] -> None
-  | l -> Some (fst (List.fold_left (fun (bn, bv) (n, v) -> if v < bv then (n, v) else (bn, bv)) (List.hd l) l))
+let plane t = t.plane
 
-let load_reports t = t.load_reports
+let stop_balancing t = t.balancing <- false
+
+let load_reports t =
+  Hashtbl.fold (fun node runnable acc -> (node, runnable) :: acc) t.load_reports []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let cosched_applied t = t.cosched_applied

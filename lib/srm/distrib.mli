@@ -1,22 +1,33 @@
-(** Distributed SRM coordination across MPMs (section 3): load reports and
-    co-scheduling over the fiber channel.  Co-scheduling raises all of a
-    gang's threads to the same priority across nodes at (nearly) the same
-    instant — the pattern section 2.3 prescribes for large parallel
-    programs. *)
+(** Distributed SRM coordination across MPMs (section 3): load reports,
+    co-scheduling, and the migration plane's traffic over the fiber
+    channel.  Co-scheduling raises all of a gang's threads to the same
+    priority across nodes at (nearly) the same instant — the pattern
+    section 2.3 prescribes for large parallel programs.  When
+    [Config.balance_interval_us] is set, a periodic loop migrates runnable
+    threads from the most- to the least-loaded node until the spread is
+    within [Config.balance_hysteresis]. *)
 
 open Cachekernel
 
 type message =
   | Load_report of { node : int; runnable : int }
   | Coschedule of { gang : int; priority : int }
+  | Migrate_chunk of { xfer : int; seq : int; total : int; part : Bytes.t }
+      (** one chunk of a {!Migrate.Codec} image *)
+  | Migrate_ack of { xfer : int; ok : bool }
+  | Migrate_signal of { xfer : int; tag : int; va : int }
+      (** a signal forwarded from a migrated thread's old residence *)
 
 val encode : message -> Bytes.t
+
 val decode : Bytes.t -> message option
+(** Truncated or malformed frames decode to [None], never an exception. *)
 
 type t
 
 val start : Manager.t -> net:Hw.Interconnect.t -> t
-(** Attach the SRM to the interconnect via its fiber NIC. *)
+(** Attach the SRM to the interconnect via its fiber NIC; arms the
+    balancing loop when configured. *)
 
 val add_peer : t -> int -> unit
 val register_gang : t -> gang:int -> Oid.t list -> unit
@@ -28,8 +39,27 @@ val coschedule : t -> gang:int -> priority:int -> unit
 (** Raise the gang's priority locally and on every peer. *)
 
 val least_loaded : t -> int option
-(** Placement hint: the node with the fewest runnable threads. *)
+(** Placement hint: the node with the fewest runnable threads.  The local
+    node's count is always live; ties break to the lowest node id, so the
+    ranking is deterministic. *)
+
+val most_loaded : t -> int option
+(** The busiest node under the same deterministic ranking. *)
+
+val balance_tick : t -> unit
+(** One step of the balancing policy (also driven periodically when
+    [Config.balance_interval_us] is set): if this node is the most loaded
+    and the spread exceeds the hysteresis band, migrate one movable
+    thread to the least-loaded node. *)
+
+val stop_balancing : t -> unit
+
+val plane : t -> Migrate.Plane.t
+(** The node's migration plane (thread/space moves, forwarding stub). *)
 
 val load_reports : t -> (int * int) list
+(** Last known runnable count per node, ascending node id. *)
+
 val cosched_applied : t -> (int * float) list
-(** (gang, local apply time in simulated us) pairs, for skew measurement. *)
+(** (gang, local apply time in simulated us) pairs, newest first, bounded
+    to the most recent 64 — for skew measurement. *)

@@ -209,6 +209,92 @@ let test_distrib_cosched_and_containment () =
   Alcotest.(check bool) "node 0 progressed after node 1 failure" true
     (Hw.Mpm.now i0.Instance.node > t_before)
 
+(* Co-scheduling must hold up under fault injection: signal drops and
+   stale loads perturb each node's local execution, but the coordination
+   frames ride the interconnect, so every gang member still rises and the
+   skew bound survives.  Seeds 1-3 exercise three distinct injection
+   schedules; each run must leave every node audit-clean. *)
+let test_cosched_under_chaos () =
+  List.iter
+    (fun seed ->
+      let config =
+        {
+          Config.default with
+          Config.chaos =
+            Some
+              {
+                Config.chaos_default with
+                Config.chaos_seed = seed;
+                Config.signal_drop = 0.1;
+                Config.stale_rate = 0.05;
+              };
+        }
+      in
+      let net = Hw.Interconnect.create () in
+      let make_node id =
+        let inst =
+          Instance.create ~config
+            (Hw.Mpm.create ~node_id:id ~cpus:2 ~mem_size:(32 * 1024 * 1024) ())
+        in
+        let srm = ok (Srm.Manager.boot inst ()) in
+        let d = Srm.Distrib.start srm ~net in
+        let body () =
+          for _ = 1 to 100_000 do
+            Hw.Exec.compute 2000;
+            ignore (Hw.Exec.trap Api.Ck_yield)
+          done
+        in
+        let tid =
+          ok
+            (App_kernel.spawn_internal srm.Srm.Manager.ak ~priority:4
+               (Hw.Exec.unit_body body))
+        in
+        let oid = Option.get (Thread_lib.oid_of srm.Srm.Manager.ak.App_kernel.threads tid) in
+        Srm.Distrib.register_gang d ~gang:7 [ oid ];
+        (inst, srm, d, oid)
+      in
+      let nodes = List.map make_node [ 0; 1; 2 ] in
+      List.iter
+        (fun (_, _, d, _) ->
+          List.iter (fun (i, _, _, _) -> Srm.Distrib.add_peer d (Instance.node_id i)) nodes)
+        nodes;
+      let insts = Array.of_list (List.map (fun (i, _, _, _) -> i) nodes) in
+      let _, _, d0, _ = List.hd nodes in
+      ignore (Engine.run ~until_us:2_000.0 insts);
+      Srm.Distrib.coschedule d0 ~gang:7 ~priority:20;
+      ignore (Engine.run ~until_us:4_000.0 insts);
+      List.iter
+        (fun (inst, _, _, oid) ->
+          match Instance.find_thread inst oid with
+          | Some th ->
+            Alcotest.(check int)
+              (Printf.sprintf "seed %d: gang member raised" seed)
+              20 th.Thread_obj.priority
+          | None -> ())
+        nodes;
+      let times =
+        List.concat_map
+          (fun (_, _, d, _) -> List.map snd (Srm.Distrib.cosched_applied d))
+          nodes
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: applied on every node" seed)
+        3 (List.length times);
+      let tmin = List.fold_left min (List.hd times) times in
+      let tmax = List.fold_left max (List.hd times) times in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: skew < 500us" seed)
+        true
+        (tmax -. tmin < 500.0);
+      List.iter
+        (fun (inst, _, _, _) ->
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d: node %d audit clean" seed (Instance.node_id inst))
+            0
+            (List.length (Audit.run inst).Audit.violations))
+        nodes)
+    [ 1; 2; 3 ]
+
 let () =
   Alcotest.run "srm"
     [
@@ -228,5 +314,7 @@ let () =
         [
           Alcotest.test_case "co-scheduling and containment" `Quick
             test_distrib_cosched_and_containment;
+          Alcotest.test_case "co-scheduling under chaos (seeds 1-3)" `Quick
+            test_cosched_under_chaos;
         ] );
     ]
