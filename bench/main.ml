@@ -542,7 +542,7 @@ let overload_sweep () =
    thread.  Migrate the space (thread included) to node 1 over the fiber
    and measure the source-observed pause (capture -> ack) and the bytes
    the image shipped.  Both nodes must audit clean afterwards. *)
-let migrate_run ~ws =
+let migrate_run ?(insts_out = ref [||]) ~ws () =
   let net = Hw.Interconnect.create () in
   let make_node id =
     let inst = Workload.Setup.instance ~node_id:id ~cpus:2 () in
@@ -579,6 +579,7 @@ let migrate_run ~ws =
        (Aklib.Thread_lib.spawn ak0.Aklib.App_kernel.threads
           ~space_tag:vsp.Aklib.Segment_mgr.tag ~priority:8 (Hw.Exec.unit_body body)));
   let insts = [| i0; i1 |] in
+  insts_out := insts;
   ignore (Engine.run ~until_us:2_000.0 insts);
   (match Srm.Distrib.plane d0 |> fun p -> Migrate.Plane.move_space p ~dst:1 vsp.Aklib.Segment_mgr.tag with
   | Ok _ -> ()
@@ -604,7 +605,7 @@ let migration_sweep () =
   let rows = ref [] in
   List.iter
     (fun ws ->
-      let bytes, chunks, pause, completed, adopted, viols = migrate_run ~ws in
+      let bytes, chunks, pause, completed, adopted, viols = migrate_run ~ws () in
       Printf.printf "  %8d %10d %8d %12.1f %10d %8d %7d\n" ws bytes chunks pause completed
         adopted viols;
       rows :=
@@ -694,7 +695,149 @@ let bechamel_suite () =
       Printf.printf "  %-40s %14.0f ns/run\n" name est)
     (List.sort compare rows)
 
-let () =
+(* -- WC: wall-clock throughput harness (bench --wallclock) --
+
+   Where the rest of this file reports *simulated* microseconds, this
+   section measures how fast the simulator itself chews through them:
+   engine events per wall-clock second, forwarded faults per second, and
+   simulated microseconds retired per wall millisecond, across the same
+   C1/C2/MG sweeps the evaluation uses.  The results land in
+   BENCH_wallclock.json so CI can diff throughput PR-over-PR, and the run
+   fails (nonzero exit) if the batched/prefetch mapping path is slower
+   than issuing the same loads one at a time — the regression gate for
+   the batching work. *)
+
+let sum_counter insts name =
+  Array.fold_left (fun acc i -> acc + Metrics.counter i.Instance.metrics name) 0 insts
+
+let wall_scenario name f =
+  let t0 = Unix.gettimeofday () in
+  let insts = f () in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let sim_us =
+    Array.fold_left
+      (fun acc i -> acc +. Hw.Cost.us_of_cycles (Hw.Mpm.now i.Instance.node))
+      0.0 insts
+  in
+  let events = sum_counter insts "engine.steps" in
+  let faults =
+    Array.fold_left (fun acc i -> acc + i.Instance.stats.Stats.faults_forwarded) 0 insts
+  in
+  let per_sec n = float_of_int n /. (wall_ms /. 1000.0) in
+  Printf.printf "  %-24s %9.1f ms  %9.0f events/s  %8.0f faults/s  %9.0f sim-us/ms\n"
+    name wall_ms (per_sec events) (per_sec faults) (sim_us /. wall_ms);
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("wall_ms", Json.Float wall_ms);
+      ("simulated_us", Json.Float sim_us);
+      ("events", Json.Int events);
+      ("faults_forwarded", Json.Int faults);
+      ("events_per_sec", Json.Float (per_sec events));
+      ("faults_per_sec", Json.Float (per_sec faults));
+      ("sim_us_per_wall_ms", Json.Float (sim_us /. wall_ms));
+    ]
+
+(* The regression gate: the 1024-page sweep past a 256-mapping cache, with
+   clustered prefetch (and therefore batched loads) off and on.  Prefetch
+   must strictly reduce both forwarded faults and simulated us/access —
+   otherwise the batched path costs more than N singles and the exit code
+   says so. *)
+let prefetch_gate () =
+  let captured = ref None in
+  let off = Workload.Sweeps.page_point ~mapping_capacity:256 1024 in
+  let config = { Config.default with Config.fault_prefetch = 7 } in
+  let on =
+    Workload.Sweeps.page_point ~config
+      ~prepare:(fun inst -> captured := Some inst)
+      ~mapping_capacity:256 1024
+  in
+  let counter name =
+    match !captured with
+    | Some i -> Metrics.counter i.Instance.metrics name
+    | None -> 0
+  in
+  let gain =
+    100.0
+    *. (off.Workload.Sweeps.us_per_access -. on.Workload.Sweeps.us_per_access)
+    /. off.Workload.Sweeps.us_per_access
+  in
+  let regressed =
+    on.Workload.Sweeps.us_per_access >= off.Workload.Sweeps.us_per_access
+    || on.Workload.Sweeps.faults >= off.Workload.Sweeps.faults
+  in
+  Printf.printf "  prefetch off: faults %5d   us/access %7.2f\n"
+    off.Workload.Sweeps.faults off.Workload.Sweeps.us_per_access;
+  Printf.printf "  prefetch on : faults %5d   us/access %7.2f   (%.1f%% faster)\n"
+    on.Workload.Sweeps.faults on.Workload.Sweeps.us_per_access gain;
+  Printf.printf "  prefetch issued %d, used %d, wasted %d%s\n" (counter "prefetch.issued")
+    (counter "prefetch.used") (counter "prefetch.wasted")
+    (if regressed then "  ** REGRESSION: batched path is not faster **" else "");
+  let json =
+    Json.Obj
+      [
+        ( "off",
+          Json.Obj
+            [
+              ("faults_forwarded", Json.Int off.Workload.Sweeps.faults);
+              ("us_per_access", Json.Float off.Workload.Sweeps.us_per_access);
+            ] );
+        ( "on",
+          Json.Obj
+            [
+              ("faults_forwarded", Json.Int on.Workload.Sweeps.faults);
+              ("us_per_access", Json.Float on.Workload.Sweeps.us_per_access);
+              ("prefetch_issued", Json.Int (counter "prefetch.issued"));
+              ("prefetch_used", Json.Int (counter "prefetch.used"));
+              ("prefetch_wasted", Json.Int (counter "prefetch.wasted"));
+            ] );
+        ("us_per_access_gain_percent", Json.Float gain);
+        ("regressed", Json.Bool regressed);
+      ]
+  in
+  (json, regressed)
+
+let wallclock_suite ~quick =
+  section
+    (Printf.sprintf "WC. Wall-clock throughput%s" (if quick then " (quick)" else ""));
+  let c1_counts = if quick then [ 16; 64 ] else [ 16; 32; 64; 128; 256 ] in
+  let c2_pages = if quick then [ 128; 512 ] else [ 64; 128; 256; 512; 1024 ] in
+  let mg_ws = if quick then 16 else 64 in
+  let collect prepared f =
+    let insts = ref [] in
+    ignore (f ~prepare:(fun i -> insts := i :: !insts) prepared);
+    Array.of_list !insts
+  in
+  let c1 =
+    wall_scenario "c1/thread_sweep" (fun () ->
+        collect c1_counts (fun ~prepare counts ->
+            Workload.Sweeps.thread_sweep ~capacity:64 ~prepare counts))
+  in
+  let c2 =
+    wall_scenario "c2/page_sweep" (fun () ->
+        collect c2_pages (fun ~prepare pages ->
+            Workload.Sweeps.page_sweep ~mapping_capacity:256 ~prepare pages))
+  in
+  let mg =
+    wall_scenario "mg/migrate" (fun () ->
+        let out = ref [||] in
+        ignore (migrate_run ~insts_out:out ~ws:mg_ws ());
+        !out)
+  in
+  let rows = [ c1; c2; mg ] in
+  section "WC. Batched-load / prefetch regression gate (1024 pages, capacity 256)";
+  let prefetch_json, regressed = prefetch_gate () in
+  Json.to_file "BENCH_wallclock.json"
+    (Json.Obj
+       [
+         ("quick", Json.Bool quick);
+         ("scenarios", Json.List rows);
+         ("prefetch_gate", prefetch_json);
+       ]);
+  Printf.printf "\n  wrote BENCH_wallclock.json\n";
+  if regressed then exit 1
+
+let full_suite () =
   Printf.printf "Cache Kernel reproduction benchmarks (OSDI '94)\n";
   Printf.printf "simulated machine: 25 MHz MPM CPUs; times in simulated microseconds\n";
   table1 ();
@@ -714,3 +857,8 @@ let () =
   migration_sweep ();
   bechamel_suite ();
   Printf.printf "\nDone.\n"
+
+let () =
+  let args = Array.to_list Sys.argv in
+  if List.mem "--wallclock" args then wallclock_suite ~quick:(List.mem "--quick" args)
+  else full_suite ()

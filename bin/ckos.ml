@@ -122,9 +122,19 @@ let boot_and_run ?pause_us ~config ~cpus ~procs ~tracing () =
   ignore (Engine.run ?until_us:pause_us [| inst |]);
   (inst, emu)
 
-let run_workload cpus procs chaos chaos_seed audit audit_out metrics_out trace_out =
+let run_workload cpus procs chaos chaos_seed prefetch batch audit audit_out metrics_out
+    trace_out =
+  if prefetch < 0 || batch < 1 then begin
+    Fmt.epr "ckos: --prefetch must be >= 0 and --batch >= 1@.";
+    Stdlib.exit 1
+  end;
   let config =
-    { Config.default with Config.chaos = chaos_config ~rate:chaos ~seed:chaos_seed }
+    {
+      Config.default with
+      Config.chaos = chaos_config ~rate:chaos ~seed:chaos_seed;
+      fault_prefetch = prefetch;
+      mapping_batch_max = batch;
+    }
   in
   let inst, emu = boot_and_run ~config ~cpus ~procs ~tracing:(trace_out <> None) () in
   Fmt.pr "ran %d processes in %.1f ms simulated (%d syscalls)@."
@@ -305,6 +315,23 @@ let audit_out =
     & info [ "audit-out" ] ~docv:"FILE"
         ~doc:"Write the post-run audit report as JSON (implies $(b,--audit)).")
 
+let prefetch_arg =
+  Arg.(
+    value
+    & opt int Config.default.Config.fault_prefetch
+    & info [ "prefetch" ] ~docv:"N"
+        ~doc:
+          "Clustered fault prefetch depth: on a forwarded page fault the segment \
+           manager batch-loads up to $(docv) resident same-segment neighbours \
+           alongside the faulting mapping (0 disables, the default).")
+
+let batch_arg =
+  Arg.(
+    value
+    & opt int Config.default.Config.mapping_batch_max
+    & info [ "batch" ] ~docv:"N"
+        ~doc:"Maximum mapping specs accepted by one batched load call.")
+
 let run_term =
   let cpus = Arg.(value & opt int 4 & info [ "cpus" ] ~doc:"CPUs per MPM.") in
   let procs = Arg.(value & opt int 4 & info [ "procs" ] ~doc:"Processes to run.") in
@@ -324,8 +351,8 @@ let run_term =
       & info [ "chaos-seed" ] ~docv:"N" ~doc:"Seed for the fault-injection PRNG streams.")
   in
   Term.(
-    const run_workload $ cpus $ procs $ chaos $ chaos_seed $ audit_flag $ audit_out
-    $ metrics_out $ trace_out)
+    const run_workload $ cpus $ procs $ chaos $ chaos_seed $ prefetch_arg $ batch_arg
+    $ audit_flag $ audit_out $ metrics_out $ trace_out)
 
 let run_cmd = Cmd.v (Cmd.info "run" ~doc:"Run a UNIX workload and print statistics") run_term
 
@@ -347,9 +374,11 @@ let audit_term =
       & info [ "chaos-seed" ] ~docv:"N" ~doc:"Seed for the fault-injection PRNG streams.")
   in
   Term.(
-    const (fun cpus procs chaos seed audit_out metrics_out trace_out ->
-        run_workload cpus procs chaos seed true audit_out metrics_out trace_out)
-    $ cpus $ procs $ chaos $ chaos_seed $ audit_out $ metrics_out $ trace_out)
+    const (fun cpus procs chaos seed prefetch batch audit_out metrics_out trace_out ->
+        run_workload cpus procs chaos seed prefetch batch true audit_out metrics_out
+          trace_out)
+    $ cpus $ procs $ chaos $ chaos_seed $ prefetch_arg $ batch_arg $ audit_out
+    $ metrics_out $ trace_out)
 
 let audit_cmd =
   Cmd.v

@@ -49,6 +49,17 @@ type t = {
   mutable next_wait_token : int;
   fifo : (Segment.t * int) Queue.t; (* eviction candidates, FIFO order *)
   stats : stats;
+  (* clustered fault prefetch (Config.fault_prefetch), adaptive throttle *)
+  mutable prefetch_depth : int;
+      (* neighbors loaded per fault right now, in [1, fault_prefetch];
+         halved when a throttle window shows mostly wasted prefetch, grown
+         back by one when prefetch proves useful *)
+  prefetched : (int * int, unit) Hashtbl.t;
+      (* (space tag, va) loaded ahead of demand and not yet judged: the
+         mapping's writeback tells us (via the referenced bit) whether the
+         prefetch was used or wasted *)
+  mutable prefetch_used : int; (* current throttle window *)
+  mutable prefetch_wasted : int;
   mutable on_segv : t -> Kernel_obj.fault_ctx -> unit;
       (* policy hook: no region / protection error.  Default: terminate the
          thread by unloading it. *)
@@ -96,6 +107,10 @@ let create env =
           segv = 0;
           evictions = 0;
         };
+      prefetch_depth = env.inst.Instance.config.Config.fault_prefetch;
+      prefetched = Hashtbl.create 64;
+      prefetch_used = 0;
+      prefetch_wasted = 0;
       on_segv = default_segv;
       choose_victim = default_victim;
       on_consistency = (fun _ _ -> false);
@@ -356,6 +371,146 @@ let record_mapper (r : Segment.resident) vsp va =
   if not (List.mem (vsp.tag, va) r.Segment.mappers) then
     r.Segment.mappers <- (vsp.tag, va) :: r.Segment.mappers
 
+(* -- Clustered fault prefetch --
+
+   Section 4.4's clustered page-group descriptors, applied to fault
+   handling: pages of a segment are touched in runs, so when one forwarded
+   fault has already paid the trap and crossing, reload the resident
+   unmapped neighbors of the faulting page through the same batched call
+   ({!Api.load_mappings_and_resume}).  Each avoided future soft fault saves
+   a full trap + forward + handler navigation; a wrong guess costs one
+   [Hw.Cost.batch_entry] plus the install, and the adaptive throttle backs
+   the depth off when writebacks show prefetched mappings going unused. *)
+
+(* Throttle window: judge the depth every this many prefetch outcomes. *)
+let prefetch_window = 32
+
+let note_prefetch_outcome t ~used =
+  let inst = t.env.inst in
+  if used then begin
+    t.prefetch_used <- t.prefetch_used + 1;
+    Instance.count inst "prefetch.used"
+  end
+  else begin
+    t.prefetch_wasted <- t.prefetch_wasted + 1;
+    Instance.count inst "prefetch.wasted"
+  end;
+  if t.prefetch_used + t.prefetch_wasted >= prefetch_window then begin
+    let max_depth = inst.Instance.config.Config.fault_prefetch in
+    if t.prefetch_wasted > t.prefetch_used then
+      (* mostly wasted: halve, but keep probing with depth 1 so a returning
+         sequential phase can grow it back *)
+      t.prefetch_depth <- max 1 (t.prefetch_depth / 2)
+    else if t.prefetch_depth < max_depth then
+      t.prefetch_depth <- t.prefetch_depth + 1;
+    t.prefetch_used <- 0;
+    t.prefetch_wasted <- 0
+  end
+
+(* Resident, not-yet-mapped neighbors of segment page [page] inside
+   [region], nearest first, up to the adaptive depth (capped so the batch
+   including the faulting entry fits [Config.mapping_batch_max]).  Only
+   [In_memory] pages qualify: prefetch amortizes the crossing, it must
+   never start disk I/O or zero-fill — and it never reaches outside the
+   region's segment window, so it cannot map past the segment's bounds. *)
+let prefetch_candidates t vsp (region : Region.t) ~page =
+  let config = t.env.inst.Instance.config in
+  if config.Config.fault_prefetch <= 0 then []
+  else begin
+    let depth = min t.prefetch_depth (config.Config.mapping_batch_max - 1) in
+    let lo = region.Region.seg_offset in
+    let hi = region.Region.seg_offset + region.Region.pages - 1 in
+    let seg = region.Region.segment in
+    let acc = ref [] in
+    let n = ref 0 in
+    let consider p =
+      if !n < depth && p >= lo && p <= hi then
+        match Segment.state seg p with
+        | Segment.In_memory r ->
+          let va = Region.va_of_page region p in
+          if not (List.mem (vsp.tag, va) r.Segment.mappers) then begin
+            acc := (va, r) :: !acc;
+            incr n
+          end
+        | _ -> ()
+    in
+    let d = ref 1 in
+    while !n < depth && (page + !d <= hi || page - !d >= lo) do
+      consider (page + !d);
+      consider (page - !d);
+      incr d
+    done;
+    List.rev !acc
+  end
+
+(* Serve a soft fault with one batched crossing: the faulting mapping first,
+   prefetched neighbors after it.  Returns true when the faulting entry
+   loaded.  The retry loop realises the batch's partial-failure contract:
+   entries before a failure index stay loaded, so recovery resumes from the
+   failed suffix — reload-and-retry for a stale space identifier, bounded
+   doubling backoff (mirroring {!Backoff.with_backoff}) for [Overloaded],
+   skip-and-continue when a neighbor raced to [Already_mapped].  Any other
+   neighbor failure just abandons the remaining prefetch: the fault itself
+   was served. *)
+let load_batch_with_prefetch t vsp (region : Region.t) ~va (r : Segment.resident)
+    cands =
+  let inst = t.env.inst in
+  let config = inst.Instance.config in
+  let entries = Array.of_list ((va, r) :: cands) in
+  let n = Array.length entries in
+  let loaded = Array.make n false in
+  let spec_of (va', (r' : Segment.resident)) =
+    Api.mapping ~va:va' ~pfn:r'.Segment.pfn
+      ~flags:(flags_of region ~writable:true)
+      ?signal_thread:(region.Region.signal_thread ())
+      ()
+  in
+  let stale_budget = ref 1 in
+  let overload_attempt = ref 0 in
+  let rec go start =
+    if start < n then begin
+      let specs = List.map spec_of (Array.to_list (Array.sub entries start (n - start))) in
+      match
+        Api.load_mappings_and_resume inst ~caller:(t.env.kernel ()) ~space:vsp.oid specs
+      with
+      | Ok _ -> Array.fill loaded start (n - start) true
+      | Error (i, e) -> (
+        let fail = start + i in
+        Array.fill loaded start i true;
+        match e with
+        | Api.Stale_reference when !stale_budget > 0 -> (
+          decr stale_budget;
+          match reload_space t vsp with Ok _ -> go fail | Error _ -> ())
+        | Api.Overloaded when !overload_attempt < config.Config.overload_max_retries ->
+          Instance.count inst "overload.backoff";
+          let delay_us =
+            config.Config.overload_backoff_us *. (2.0 ** float_of_int !overload_attempt)
+          in
+          Instance.charge inst (Hw.Cost.cycles_of_us delay_us);
+          incr overload_attempt;
+          go fail
+        | Api.Already_mapped when fail > 0 ->
+          (* another path (sibling load, another fault) raced this neighbor
+             in; it is mapped, just not by us — skip it *)
+          go (fail + 1)
+        | _ -> () (* keep the loaded prefix; drop the rest *))
+    end
+  in
+  go 0;
+  if loaded.(0) then begin
+    record_mapper r vsp va;
+    for j = 1 to n - 1 do
+      if loaded.(j) then begin
+        let va', r' = entries.(j) in
+        record_mapper r' vsp va';
+        Hashtbl.replace t.prefetched (vsp.tag, va') ();
+        Instance.count inst "prefetch.issued"
+      end
+    done;
+    true
+  end
+  else false
+
 (* Multi-mapping consistency (section 4.2): "each application kernel is
    expected to load all the mappings for a message page when it loads any
    of the mappings" — otherwise a sender could signal on a page whose
@@ -373,6 +528,23 @@ let load_siblings t seg page (r : Segment.resident) ~skip =
         | Ok () -> record_mapper r vsp' va'
         | Error _ -> ())
     (viewers t seg page)
+
+(* Serve a soft fault: the faulting mapping (combined resume) plus any
+   clustered prefetch, batched through one crossing; the plain single-call
+   path when there is nothing to prefetch, or as the fallback when the
+   batch could not serve the faulting entry itself (load_map's
+   Already_mapped-upgrade and stale-retry handling then applies). *)
+let load_faulting_mapping t vsp (region : Region.t) ~va ~page (r : Segment.resident) =
+  let single () =
+    match load_map t vsp region ~va ~pfn:r.Segment.pfn ~writable:true ~resume:true () with
+    | Ok () ->
+      record_mapper r vsp va;
+      true
+    | Error _ -> false
+  in
+  match prefetch_candidates t vsp region ~page with
+  | [] -> single ()
+  | cands -> load_batch_with_prefetch t vsp region ~va r cands || single ()
 
 (* Serve a fault against [region] at [va]. *)
 let serve t vsp (region : Region.t) ~va ~(access : Hw.Mmu.access) ~thread =
@@ -422,26 +594,20 @@ let serve t vsp (region : Region.t) ~va ~(access : Hw.Mmu.access) ~thread =
         record_mapper pres vsp va;
         true
       | Error _ -> false))
-  | Segment.In_memory r -> (
+  | Segment.In_memory r ->
     t.stats.soft_faults <- t.stats.soft_faults + 1;
-    match load_map t vsp region ~va ~pfn:r.Segment.pfn ~writable:true ~resume:true () with
-    | Ok () ->
-      record_mapper r vsp va;
-      if region.Region.message_mode then load_siblings t seg page r ~skip:(vsp.tag, va);
-      true
-    | Error _ -> false)
+    let served = load_faulting_mapping t vsp region ~va ~page r in
+    if served && region.Region.message_mode then
+      load_siblings t seg page r ~skip:(vsp.tag, va);
+    served
   | Segment.Zero | Segment.On_disk _ -> (
     match ensure_resident t seg page ~thread with
     | None -> false
-    | Some r -> (
-      match
-        load_map t vsp region ~va ~pfn:r.Segment.pfn ~writable:true ~resume:true ()
-      with
-      | Ok () ->
-        record_mapper r vsp va;
-        if region.Region.message_mode then load_siblings t seg page r ~skip:(vsp.tag, va);
-        true
-      | Error _ -> false))
+    | Some r ->
+      let served = load_faulting_mapping t vsp region ~va ~page r in
+      if served && region.Region.message_mode then
+        load_siblings t seg page r ~skip:(vsp.tag, va);
+      served)
 
 (** The application kernel's page-fault handler (Figure 2 step 3): resolve
     the faulting address to a region and serve the page. *)
@@ -494,6 +660,12 @@ let handle_mapping_writeback t ~space_tag (state : Wb.mapping_state) =
   match space_by_tag t space_tag with
   | None -> ()
   | Some vsp -> (
+    (* A prefetched mapping's verdict arrives here: the referenced bit in
+       its writeback says whether the guess was used before displacement. *)
+    if Hashtbl.mem t.prefetched (vsp.tag, state.Wb.va) then begin
+      Hashtbl.remove t.prefetched (vsp.tag, state.Wb.va);
+      note_prefetch_outcome t ~used:state.Wb.referenced
+    end;
     match region_of vsp state.Wb.va with
     | None -> ()
     | Some region -> (

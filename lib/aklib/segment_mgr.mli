@@ -47,6 +47,14 @@ type t = {
   mutable next_wait_token : int;
   fifo : (Segment.t * int) Queue.t;
   stats : stats;
+  mutable prefetch_depth : int;
+      (** clustered-prefetch depth in use, adaptively throttled within
+          [1, Config.fault_prefetch] by the prefetch.used/wasted outcomes *)
+  prefetched : (int * int, unit) Hashtbl.t;
+      (** (space tag, va) mappings loaded ahead of demand, awaiting their
+          writeback's referenced-bit verdict *)
+  mutable prefetch_used : int;
+  mutable prefetch_wasted : int;
   mutable on_segv : t -> Kernel_obj.fault_ctx -> unit;
       (** policy hook: no region / protection error *)
   mutable choose_victim : t -> (Segment.t * int * Segment.resident) option;

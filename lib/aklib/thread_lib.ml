@@ -71,6 +71,7 @@ let load_entry t (e : entry) ~start =
        injected the same outcome): reload the address space object and
        retry — the paper's retry protocol. *)
     t.reload_retries <- t.reload_retries + 1;
+    Instance.count t.inst "thread.reload_retry";
     (match load () with
     | Ok oid ->
       e.oid <- oid;

@@ -391,11 +391,13 @@ let mapping ?(flags = Hw.Page_table.rw) ?signal_thread ?cow_dst ?(remote = false
     ?(lock = false) ~va ~pfn () =
   { va; pfn; flags; signal_thread; cow_dst; remote; lock }
 
-(** Load a per-page mapping into [space].  The physical address and access
-    are checked against the caller's memory access array; loading may
-    displace another mapping, which is written back to its owner. *)
-let load_mapping t ~caller ~space (spec : mapping_spec) =
-  charge t (Config.c_validate + Config.c_access_check);
+(* Everything a mapping load does past the trap/validation charge: shared
+   between the single-call path (which pays the full per-call validate) and
+   the batched path (which pays it once for the whole batch plus a marginal
+   [Hw.Cost.batch_entry] per spec).  Keeping one body is what makes the
+   batched path's replacement, quota and stats accounting identical to N
+   single loads by construction. *)
+let load_mapping_body t ~caller ~space (spec : mapping_spec) =
   let* k = require_kernel t caller in
   let* sp = require_space_for_load t space in
   let* () =
@@ -458,10 +460,48 @@ let load_mapping t ~caller ~space (spec : mapping_spec) =
       if had_writeback then
         t.stats.Stats.mappings.Stats.loads_with_writeback <-
           t.stats.Stats.mappings.Stats.loads_with_writeback + 1;
-      trace t
-        (Trace.Mapping_loaded { space; va = Hw.Addr.page_base spec.va; pfn = spec.pfn });
+      if tracing t then
+        trace t
+          (Trace.Mapping_loaded { space; va = Hw.Addr.page_base spec.va; pfn = spec.pfn });
       Ok ()
   end
+
+(** Load a per-page mapping into [space].  The physical address and access
+    are checked against the caller's memory access array; loading may
+    displace another mapping, which is written back to its owner. *)
+let load_mapping t ~caller ~space (spec : mapping_spec) =
+  charge t (Config.c_validate + Config.c_access_check);
+  load_mapping_body t ~caller ~space spec
+
+(** Batched mapping load: up to [Config.mapping_batch_max] specs through one
+    kernel crossing.  The full per-call validation ([c_validate] +
+    [c_access_check]) is charged once; every spec after the first costs only
+    the marginal [Hw.Cost.batch_entry] decode.  Each entry otherwise runs the
+    identical load path as {!load_mapping} — same permission and access-array
+    checks, same replacement and quota accounting, same stats.
+
+    Partial-failure contract: [Ok n] means all [n] entries loaded.
+    [Error (i, e)] means entries [0 .. i-1] loaded and STAY loaded, entry [i]
+    failed with [e], and entries past [i] were not attempted (nor charged).
+    A stale space identifier is re-validated per entry, so a caller can
+    reload the space and retry from index [i] without repeating the loaded
+    prefix. *)
+let load_mappings t ~caller ~space (specs : mapping_spec list) =
+  match specs with
+  | [] -> Ok 0
+  | _ when List.length specs > t.config.Config.mapping_batch_max ->
+    Error (0, Bad_argument "batch exceeds mapping_batch_max")
+  | _ ->
+    charge t (Config.c_validate + Config.c_access_check);
+    let rec go i = function
+      | [] -> Ok i
+      | spec :: rest -> (
+        if i > 0 then charge t Hw.Cost.batch_entry;
+        match load_mapping_body t ~caller ~space spec with
+        | Ok () -> go (i + 1) rest
+        | Error e -> Error (i, e))
+    in
+    go 0 specs
 
 (** Unload the mapping for [va] in [space], writing back its state
     (including referenced and modified bits) to the owner. *)
@@ -478,19 +518,40 @@ let unload_mapping t ~caller ~space ~va =
     Replacement.writeback_mapping t ~reason:Wb.Requested sp m;
     Ok ()
 
-(** Combined load-mapping-and-resume: the optimisation for page-fault
-    handling that loads the new mapping and returns from the exception in
-    one kernel call (section 2.1, Table 2's "optimized" row). *)
-let load_mapping_and_resume t ~caller ~space spec =
-  let* () = load_mapping t ~caller ~space spec in
-  (match Replacement.active_thread t with
+(* Arm the combined-resume return path on the active handler frame (shared
+   tail of the *_and_resume calls). *)
+let arm_combined_resume t =
+  match Replacement.active_thread t with
   | Some th -> (
     match Thread_obj.top th with
     | Some f when f.Thread_obj.mode = Thread_obj.Kernel_mode ->
       f.Thread_obj.combined_resume <- true
     | _ -> ())
-  | None -> ());
+  | None -> ()
+
+(** Combined load-mapping-and-resume: the optimisation for page-fault
+    handling that loads the new mapping and returns from the exception in
+    one kernel call (section 2.1, Table 2's "optimized" row). *)
+let load_mapping_and_resume t ~caller ~space spec =
+  let* () = load_mapping t ~caller ~space spec in
+  arm_combined_resume t;
   Ok ()
+
+(** Batched {!load_mapping_and_resume}: same cost and partial-failure
+    contract as {!load_mappings}, plus the combined resume of the faulting
+    thread.  The resume is armed whenever the first entry — by convention
+    the faulting mapping, with any prefetched neighbors after it — loaded,
+    i.e. on [Ok _] or [Error (i, _)] with [i >= 1]: a failed *prefetch*
+    entry must not force the fault itself back onto the expensive separate
+    exception-complete path. *)
+let load_mappings_and_resume t ~caller ~space specs =
+  match load_mappings t ~caller ~space specs with
+  | Ok n ->
+    if n > 0 then arm_combined_resume t;
+    Ok n
+  | Error (i, e) ->
+    if i >= 1 then arm_combined_resume t;
+    Error (i, e)
 
 (** Rebind the signal thread of a loaded mapping — used to redirect signals
     for an unloaded thread to an application kernel's internal thread

@@ -162,6 +162,32 @@ val load_mapping_and_resume :
 (** The combined call that loads a new mapping and returns from the
     exception handler in one crossing (section 2.1, Table 2 "optimized"). *)
 
+val load_mappings :
+  Instance.t -> caller:Oid.t -> space:Oid.t -> mapping_spec list -> (int, int * error) result
+(** Batched mapping load: up to [Config.mapping_batch_max] specs through a
+    single kernel crossing.  The per-call validation cost is charged once for
+    the whole batch; each spec after the first costs only the marginal
+    [Hw.Cost.batch_entry], so a batch of [n >= 2] is strictly cheaper in
+    simulated time than [n] {!load_mapping} calls, while replacement, quota
+    and stats accounting stay identical by construction (the same per-entry
+    body runs).
+
+    Partial-failure contract: [Ok n] — all [n] entries loaded.
+    [Error (i, e)] — entries [0 .. i-1] loaded and stay loaded, entry [i]
+    failed with [e], entries past [i] were not attempted.  Stale space
+    identifiers are validated per entry: reload the space and retry the
+    suffix from [i].  An empty batch is [Ok 0]; an over-long batch fails
+    with [Error (0, Bad_argument _)] before anything is charged or loaded. *)
+
+val load_mappings_and_resume :
+  Instance.t -> caller:Oid.t -> space:Oid.t -> mapping_spec list -> (int, int * error) result
+(** {!load_mappings} plus the combined resume of the faulting thread
+    (section 2.1's optimization, batched).  By convention the first spec is
+    the faulting mapping and any prefetched neighbors follow it; the resume
+    is armed whenever that first entry loaded ([Ok _], or [Error (i, _)]
+    with [i >= 1]), so a failed prefetch entry never forces the fault back
+    onto the separate exception-complete path. *)
+
 val redirect_signal :
   Instance.t ->
   caller:Oid.t ->

@@ -78,7 +78,7 @@ let remove_orphan_mapping t (m : Mappings.m) =
       Wb.va = m.Mappings.va;
       pfn = pte.Hw.Page_table.frame;
       flags = pte.Hw.Page_table.flags;
-      referenced = pte.Hw.Page_table.referenced;
+      referenced = pte.Hw.Page_table.referenced || m.Mappings.aged_referenced;
       modified = pte.Hw.Page_table.modified;
       had_signal_thread = m.Mappings.signal_thread <> None;
     }

@@ -110,6 +110,17 @@ type t = {
   balance_hysteresis : int;
       (* runnable-thread spread tolerated before the most-loaded node
          migrates work to the least-loaded one *)
+  (* batched mapping loads & clustered fault prefetch *)
+  mapping_batch_max : int;
+      (* most mapping specs one [Api.load_mappings] call accepts: the batch
+         shares one trap/crossing charge, so the cap bounds how much work a
+         single supervisor entry can queue *)
+  fault_prefetch : int;
+      (* clustered prefetch: on a forwarded page fault the segment manager
+         may load up to this many resident same-segment neighbors in the
+         same batch as the faulting mapping; 0 disables prefetch entirely
+         (the adaptive throttle can lower the effective depth, never raise
+         it past this) *)
 }
 
 let default =
@@ -142,6 +153,8 @@ let default =
     migrate_max_retries = 6;
     balance_interval_us = 0.0;
     balance_hysteresis = 2;
+    mapping_batch_max = 16;
+    fault_prefetch = 0;
   }
 
 (* Cycle costs of Cache Kernel suboperations (supervisor code sequences). *)

@@ -64,7 +64,7 @@ let push_handler t (th : Thread_obj.t) ~(kernel : Kernel_obj.t) ~origin ~pushed_
   frame.Thread_obj.origin <- origin;
   frame.Thread_obj.pushed_at <- pushed_at;
   Thread_obj.push_frame th frame;
-  trace t (Trace.Handler_running { thread = th.Thread_obj.oid });
+  if tracing t then trace t (Trace.Handler_running { thread = th.Thread_obj.oid });
   frame.Thread_obj.status <- Hw.Exec.start body;
   frame
 
@@ -118,13 +118,15 @@ let max_fault_repeat = 64
 let handle_fault t (th : Thread_obj.t) (frame : Thread_obj.frame) (fault : Hw.Mmu.fault) =
   (* Figure 2 step 1: the end-to-end fault latency histogram starts here. *)
   let fault_t0 = now t in
-  trace t
-    (Trace.Fault_trap
-       {
-         thread = th.Thread_obj.oid;
-         va = fault.Hw.Mmu.va;
-         kind = Fmt.str "%a" Hw.Mmu.pp_fault_kind fault.Hw.Mmu.kind;
-       });
+  (* guarded: the kind string alone would allocate on every fault *)
+  if tracing t then
+    trace t
+      (Trace.Fault_trap
+         {
+           thread = th.Thread_obj.oid;
+           va = fault.Hw.Mmu.va;
+           kind = Fmt.str "%a" Hw.Mmu.pp_fault_kind fault.Hw.Mmu.kind;
+         });
   charge t Hw.Cost.trap_entry;
   let key = Hw.Addr.page_of fault.Hw.Mmu.va in
   if th.Thread_obj.fault_key = key then
@@ -196,10 +198,11 @@ let handle_fault t (th : Thread_obj.t) (frame : Thread_obj.frame) (fault : Hw.Mm
             Fault_inject.recover t.fi ~site:"fault.forward";
           charge t Hw.Cost.exception_forward;
           t.stats.Stats.faults_forwarded <- t.stats.Stats.faults_forwarded + 1;
-          count t "fault.forwarded";
-          trace t
-            (Trace.Forward_to_kernel
-               { thread = th.Thread_obj.oid; kernel = kernel.Kernel_obj.oid });
+          Stdlib.incr t.hot.faults_forwarded;
+          if tracing t then
+            trace t
+              (Trace.Forward_to_kernel
+                 { thread = th.Thread_obj.oid; kernel = kernel.Kernel_obj.oid });
           let ctx =
             {
               Kernel_obj.thread = th.Thread_obj.oid;
@@ -286,10 +289,11 @@ let do_trap t (th : Thread_obj.t) (frame : Thread_obj.frame) p k =
       | Some kernel ->
         charge t Hw.Cost.trap_forward;
         t.stats.Stats.traps_forwarded <- t.stats.Stats.traps_forwarded + 1;
-        count t "trap.forwarded";
-        trace t
-          (Trace.Trap_forwarded
-             { thread = th.Thread_obj.oid; kernel = kernel.Kernel_obj.oid });
+        Stdlib.incr t.hot.traps_forwarded;
+        if tracing t then
+          trace t
+            (Trace.Trap_forwarded
+               { thread = th.Thread_obj.oid; kernel = kernel.Kernel_obj.oid });
         ignore
           (push_handler t th ~kernel ~origin:Thread_obj.From_trap ~pushed_at:trap_t0
              (fun () -> kernel.Kernel_obj.handlers.Kernel_obj.on_trap th.Thread_obj.oid p))))
@@ -309,15 +313,19 @@ let frame_completed t (th : Thread_obj.t) (frame : Thread_obj.frame) outcome =
       charge t
         (if frame.Thread_obj.combined_resume then Config.c_combined_resume
          else Hw.Cost.exception_return);
-      trace t (Trace.Exception_complete { thread = th.Thread_obj.oid });
-      trace t (Trace.Thread_resumed { thread = th.Thread_obj.oid });
+      if tracing t then begin
+        trace t (Trace.Exception_complete { thread = th.Thread_obj.oid });
+        trace t (Trace.Thread_resumed { thread = th.Thread_obj.oid })
+      end;
       (* End-to-end handler latency, from the trap/fault that pushed the
          frame (Figure 2 steps 1-6) to this exception return. *)
       (match frame.Thread_obj.origin with
       | Thread_obj.From_fault ->
-        observe_cycles t "fault.handle_us" (now t - frame.Thread_obj.pushed_at)
+        Metrics.observe_hist_cycles t.hot.fault_handle_us
+          (now t - frame.Thread_obj.pushed_at)
       | Thread_obj.From_trap ->
-        observe_cycles t "trap.forward_us" (now t - frame.Thread_obj.pushed_at)
+        Metrics.observe_hist_cycles t.hot.trap_forward_us
+          (now t - frame.Thread_obj.pushed_at)
       | Thread_obj.Internal -> ())
     end;
     match th.Thread_obj.frames with
@@ -388,7 +396,8 @@ let step_thread t ~cpu_id (th : Thread_obj.t) =
       Quota.charge kernel ~cpu:cpu_id ~priority:th.Thread_obj.priority ~cycles:delta
         ~elapsed ~grace:t.config.Config.time_slice
     then
-      trace t (Trace.Quota_exceeded { kernel = kernel.Kernel_obj.oid; cpu = cpu_id })
+      if tracing t then
+        trace t (Trace.Quota_exceeded { kernel = kernel.Kernel_obj.oid; cpu = cpu_id })
   | None -> ());
   (* Post-step transitions. *)
   if th.Thread_obj.unload_pending then begin
@@ -441,11 +450,11 @@ let dispatch t ~cpu_id (oid, (th : Thread_obj.t)) =
   th.Thread_obj.slice_left <- t.config.Config.time_slice;
   t.running.(cpu_id) <- Some oid;
   cpu.Hw.Cpu.switches <- cpu.Hw.Cpu.switches + 1;
-  count t "sched.dispatches";
+  Stdlib.incr t.hot.dispatches;
   (* Dispatch-to-run latency: ready-queue wait plus the switch just charged. *)
-  observe_cycles t "sched.dispatch_us"
+  Metrics.observe_hist_cycles t.hot.dispatch_us
     (cpu.Hw.Cpu.local_time - th.Thread_obj.ready_since);
-  trace t (Trace.Thread_dispatched { thread = oid; cpu = cpu_id })
+  if tracing t then trace t (Trace.Thread_dispatched { thread = oid; cpu = cpu_id })
 
 (** Run one scheduling decision or thread step on [cpu_id]. *)
 let step_cpu t ~cpu_id =
@@ -470,8 +479,9 @@ let step_cpu t ~cpu_id =
     if preempt then begin
       Hw.Cpu.charge cpu Hw.Cost.context_switch;
       t.stats.Stats.preemptions <- t.stats.Stats.preemptions + 1;
-      count t "sched.preemptions";
-      trace t (Trace.Thread_preempted { thread = th.Thread_obj.oid; cpu = cpu_id });
+      Stdlib.incr t.hot.preemptions;
+      if tracing t then
+        trace t (Trace.Thread_preempted { thread = th.Thread_obj.oid; cpu = cpu_id });
       make_ready t th;
       t.running.(cpu_id) <- None;
       `Ran
@@ -579,6 +589,10 @@ let run ?until_us ?(max_steps = 200_000_000) (nodes : Instance.t array) =
      each other's clocks. *)
   let order = Array.init (Array.length nodes) Fun.id in
   let quiescent = Array.make (Array.length nodes) false in
+  (* per-node step attribution, flushed to the [engine.steps] counter at the
+     end of the run: the wall-clock harness divides it by real elapsed time
+     for an events/sec figure *)
+  let node_steps = Array.make (Array.length nodes) 0 in
   while !continue && !steps < max_steps do
     if Array.length order > 1 then
       Array.sort
@@ -607,6 +621,7 @@ let run ?until_us ?(max_steps = 200_000_000) (nodes : Instance.t array) =
           match step_node ~horizon:!horizon n with
           | `Progress ->
             incr steps;
+            node_steps.(idx) <- node_steps.(idx) + 1;
             progress := true
           | `Quiescent -> quiescent.(idx) <- true
         end)
@@ -614,6 +629,11 @@ let run ?until_us ?(max_steps = 200_000_000) (nodes : Instance.t array) =
     if not !progress then continue := false
   done;
   Array.iter sync_clocks nodes;
+  Array.iteri
+    (fun idx n ->
+      if node_steps.(idx) > 0 then
+        Metrics.incr ~by:node_steps.(idx) n.metrics "engine.steps")
+    nodes;
   (* every chaos run ends with a repairing audit: the injection plane must
      never leave the caches, MMU state or ledgers inconsistent *)
   Array.iter

@@ -4,6 +4,32 @@
    queues, statistics and the per-CPU running-thread table.  Operations on
    this state live in {!Api}, {!Replacement}, {!Signals} and {!Engine}. *)
 
+(* Pre-interned handles for the per-event metrics on the engine's hottest
+   paths (dispatch, preemption, fault forwarding, trap forwarding).  Interned
+   once at {!create} so recording is one mutable update, not a string-keyed
+   [Hashtbl.find] per event; the export still lists them by name, in this
+   registration order. *)
+type hot = {
+  faults_forwarded : int ref;
+  traps_forwarded : int ref;
+  dispatches : int ref;
+  preemptions : int ref;
+  dispatch_us : Metrics.hist;
+  fault_handle_us : Metrics.hist;
+  trap_forward_us : Metrics.hist;
+}
+
+let make_hot metrics =
+  {
+    faults_forwarded = Metrics.counter_ref metrics "fault.forwarded";
+    traps_forwarded = Metrics.counter_ref metrics "trap.forwarded";
+    dispatches = Metrics.counter_ref metrics "sched.dispatches";
+    preemptions = Metrics.counter_ref metrics "sched.preemptions";
+    dispatch_us = Metrics.hist metrics "sched.dispatch_us";
+    fault_handle_us = Metrics.hist metrics "fault.handle_us";
+    trap_forward_us = Metrics.hist metrics "trap.forward_us";
+  }
+
 type t = {
   node : Hw.Mpm.t;
   config : Config.t;
@@ -15,6 +41,7 @@ type t = {
   trace : Trace.t;
   stats : Stats.t;
   metrics : Metrics.t;
+  hot : hot; (* pre-interned handles into [metrics] for per-event paths *)
   fi : Fault_inject.t; (* deterministic fault-injection plane *)
   mutable first_kernel : Oid.t; (* the system resource manager's kernel *)
   running : Oid.t option array; (* per-CPU current thread *)
@@ -58,6 +85,10 @@ let charge t c = Hw.Cpu.charge (cpu t) c
 let now t = (cpu t).Hw.Cpu.local_time
 
 let trace t event = Trace.record t.trace ~time:(now t) event
+
+(** Emit guard: hot paths check this before constructing an event, so a
+    tracing-disabled run pays one branch and zero allocation per site. *)
+let[@inline] tracing t = Trace.enabled t.trace
 
 (** MPM hardware failure (chaos site [node.crash]): halt the node and lose
     every piece of volatile supervisor state — the four object caches, the
@@ -116,6 +147,7 @@ let crash t =
   end
 
 let create ?(config = Config.default) node =
+  let metrics = Metrics.create () in
   let t =
     {
       node;
@@ -127,7 +159,8 @@ let create ?(config = Config.default) node =
       sched = Scheduler.create ~priorities:config.Config.priorities;
       trace = Trace.create ~capacity:config.Config.trace_capacity ();
       stats = Stats.create ();
-      metrics = Metrics.create ();
+      metrics;
+      hot = make_hot metrics;
       fi = Fault_inject.create config.Config.chaos;
       first_kernel = Oid.none;
       running = Array.make (Hw.Mpm.n_cpus node) None;

@@ -24,6 +24,13 @@ type m = {
          source frame read-only until the first write fault, when the Cache
          Kernel copies the page into this frame and remaps writable *)
   mutable locked : bool;
+  mutable aged_referenced : bool;
+      (* page aging: the clock hand clears the hardware referenced bit to
+         grant a second chance, which would otherwise destroy the only
+         record that the mapping was ever used.  The cleared bit is
+         accumulated here so the writeback record can still tell the owner
+         "referenced since load" — the signal its prefetch and replacement
+         policies feed on. *)
 }
 
 let pfn (m : m) = m.pte.Hw.Page_table.frame
@@ -93,7 +100,10 @@ let insert t ~owner ~space_slot ~space ~va ~pte ~signal_thread ~cow_dst ~locked 
   match t.free with
   | [] -> None
   | slot :: rest ->
-    let m = { slot; owner; space; va; pte; signal_thread; cow_dst; locked } in
+    let m =
+      { slot; owner; space; va; pte; signal_thread; cow_dst; locked;
+        aged_referenced = false }
+    in
     t.free <- rest;
     t.slots.(slot) <- Some m;
     t.live <- t.live + 1;
@@ -174,8 +184,10 @@ let victim t ~protected =
   while !result = None && !i < 2 * n do
     (match t.slots.(t.hand) with
     | Some m when not (protected m) ->
-      if m.pte.Hw.Page_table.referenced && !i < n then
-        m.pte.Hw.Page_table.referenced <- false
+      if m.pte.Hw.Page_table.referenced && !i < n then begin
+        m.pte.Hw.Page_table.referenced <- false;
+        m.aged_referenced <- true
+      end
       else result := Some m
     | _ -> ());
     t.hand <- (t.hand + 1) mod n;

@@ -28,6 +28,7 @@ type hist = {
 type t = {
   counters : (string, int ref) Hashtbl.t;
   histograms : (string, hist) Hashtbl.t;
+  seen : (string, unit) Hashtbl.t; (* membership; names_in_order keeps the order *)
   mutable names_in_order : string list; (* registration order, for stable export *)
 }
 
@@ -37,13 +38,32 @@ let bucket_base = Float.pow 2.0 0.25 (* four buckets per octave *)
 let log_base = Float.log bucket_base
 
 let create () =
-  { counters = Hashtbl.create 32; histograms = Hashtbl.create 32; names_in_order = [] }
+  {
+    counters = Hashtbl.create 32;
+    histograms = Hashtbl.create 32;
+    seen = Hashtbl.create 64;
+    names_in_order = [];
+  }
 
 let register t name =
-  if not (List.mem name t.names_in_order) then
+  if not (Hashtbl.mem t.seen name) then begin
+    Hashtbl.replace t.seen name ();
     t.names_in_order <- name :: t.names_in_order
+  end
 
 (* -- counters -- *)
+
+(** Pre-interned counter handle: the ref backing [name], created (and
+    registered, preserving export order) on first request.  Hot paths hold
+    the ref and bump it directly — no per-event string hashing. *)
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace t.counters name r;
+    register t name;
+    r
 
 let incr ?(by = 1) t name =
   match Hashtbl.find_opt t.counters name with
@@ -86,10 +106,10 @@ let hist t name =
     register t name;
     h
 
-(** Record one observation (a simulated-us latency, a scan length, ...). *)
-let observe t name v =
+(** Record one observation directly on a handle obtained from {!hist}:
+    the hot-path form, no string hashing per event. *)
+let observe_hist h v =
   if not (Float.is_nan v) then begin
-    let h = hist t name in
     let v = Float.max v 0.0 in
     h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
     h.h_count <- h.h_count + 1;
@@ -97,6 +117,13 @@ let observe t name v =
     if v < h.vmin then h.vmin <- v;
     if v > h.vmax then h.vmax <- v
   end
+
+(** Record a cycle-measured latency on a handle, converted to us. *)
+let observe_hist_cycles h (c : Hw.Cost.cycles) =
+  observe_hist h (Hw.Cost.us_of_cycles (max 0 c))
+
+(** Record one observation (a simulated-us latency, a scan length, ...). *)
+let observe t name v = if not (Float.is_nan v) then observe_hist (hist t name) v
 
 (** Record a latency measured in simulated cycles, converted to us. *)
 let observe_cycles t name (c : Hw.Cost.cycles) =

@@ -15,11 +15,21 @@
 type t = {
   queues : Oid.t Queue.t array; (* index = priority; higher index runs first *)
   mutable approx_ready : int;
+  mutable top_hint : int;
+      (* upper bound on the highest non-empty priority: every queue above it
+         is empty, so scans start here instead of at [priorities - 1].
+         Raised on enqueue, lowered lazily as scans walk past empty queues;
+         -1 when every queue is (believed) empty.  A hint only — scans stay
+         correct if it is too high, just slower *)
 }
 
 let create ~priorities =
   if priorities <= 0 then invalid_arg "Scheduler.create";
-  { queues = Array.init priorities (fun _ -> Queue.create ()); approx_ready = 0 }
+  {
+    queues = Array.init priorities (fun _ -> Queue.create ());
+    approx_ready = 0;
+    top_hint = -1;
+  }
 
 let priorities t = Array.length t.queues
 
@@ -27,7 +37,13 @@ let priorities t = Array.length t.queues
 let enqueue t ~priority oid =
   let p = max 0 (min (Array.length t.queues - 1) priority) in
   Queue.push oid t.queues.(p);
+  if p > t.top_hint then t.top_hint <- p;
   t.approx_ready <- t.approx_ready + 1
+
+(* Lower the hint past queues a scan proved empty: [p] was examined and is
+   empty, so if the hint still points at it, pull it down.  Only adjacent
+   steps — the scan visits priorities downward, so the hint follows. *)
+let lower_hint t p = if t.top_hint = p && Queue.is_empty t.queues.(p) then t.top_hint <- p - 1
 
 (* Scan one priority queue looking for an eligible thread.  Stale entries
    are dropped; ineligible-but-live entries keep their relative FIFO order
@@ -54,16 +70,20 @@ let scan_queue t q ~resolve ~eligible =
   (match !found with Some _ -> t.approx_ready <- t.approx_ready - 1 | None -> ());
   !found
 
-(** Dequeue the highest-priority eligible thread. *)
+(** Dequeue the highest-priority eligible thread.  Starts at the
+    highest-nonempty hint, so dispatch does not rescan the (usually many)
+    empty high-priority levels on every decision. *)
 let pick t ~resolve ~eligible =
   let rec loop p =
     if p < 0 then None
     else
       match scan_queue t t.queues.(p) ~resolve ~eligible with
       | Some r -> Some r
-      | None -> loop (p - 1)
+      | None ->
+        lower_hint t p;
+        loop (p - 1)
   in
-  loop (Array.length t.queues - 1)
+  loop t.top_hint
 
 (** Priority of the best eligible thread, without dequeuing (used for
     preemption decisions).  Like {!scan_queue} this is a mutating scan:
@@ -85,10 +105,14 @@ let highest_ready t ~resolve ~eligible =
           Queue.push oid q;
           if (not !found) && eligible oid d then found := true
       done;
-      if !found then Some p else loop (p - 1)
+      if !found then Some p
+      else begin
+        lower_hint t p;
+        loop (p - 1)
+      end
     end
   in
-  loop (Array.length t.queues - 1)
+  loop t.top_hint
 
 (** True when no queue holds any entry at all (stale ones included). *)
 let looks_empty t = Array.for_all Queue.is_empty t.queues

@@ -183,6 +183,7 @@ let create ?(enabled = false) ?(capacity = default_capacity) () =
 
 let enable t = t.enabled <- true
 let disable t = t.enabled <- false
+let[@inline] enabled t = t.enabled
 let capacity t = t.capacity
 let length t = t.len
 let dropped t = t.dropped

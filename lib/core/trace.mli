@@ -51,6 +51,12 @@ val default_capacity : int
 val create : ?enabled:bool -> ?capacity:int -> unit -> t
 val enable : t -> unit
 val disable : t -> unit
+
+val enabled : t -> bool
+(** Single-branch emit guard for hot call sites: check this before
+    constructing an event so a tracing-disabled run allocates nothing.
+    [record] still re-checks, so skipping the guard is safe, just slower. *)
+
 val clear : t -> unit
 val record : t -> time:Hw.Cost.cycles -> event -> unit
 

@@ -51,6 +51,13 @@ let trap_forward : cycles = 200
    emulation" (section 2.3) *)
 
 let exception_return : cycles = 170 (* Figure 2 steps 5-6, without the load *)
+
+let batch_entry : cycles = 60
+(* marginal cost of one additional entry in a batched kernel call: the
+   decode/validate work for a spec that arrived through an already-validated
+   crossing.  Much cheaper than a full per-call validate (the point of
+   batching): the trap entry, argument-block fetch and page-group lookup are
+   paid once for the whole batch *)
 let context_switch : cycles = 220 (* full register/space switch *)
 let dispatch : cycles = 45 (* scheduler picks next thread *)
 

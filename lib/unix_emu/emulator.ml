@@ -401,7 +401,8 @@ let dispatch t thread_oid (payload : Hw.Exec.payload) : Hw.Exec.payload =
 
 (* SEGV policy: run the registered handler if any, else terminate the
    process — "alternatively, it may send a UNIX-style SEGV signal". *)
-let on_segv t (_mgr : Segment_mgr.t) (ctx : Kernel_obj.fault_ctx) =
+let on_segv t (mgr : Segment_mgr.t) (ctx : Kernel_obj.fault_ctx) =
+  Instance.count mgr.Segment_mgr.env.Segment_mgr.inst "emu.segv";
   match proc_of_thread t ctx.Kernel_obj.thread with
   | None -> ()
   | Some p -> (

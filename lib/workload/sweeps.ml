@@ -94,10 +94,20 @@ type page_point = {
 
 (** One thread sweeps a working set of [pages] pages [passes] times against
     a mapping cache of [mapping_capacity] descriptors.  Below capacity the
-    mappings load once; above it every pass refaults (thrash). *)
-let page_point ?(mapping_capacity = 256) ?(passes = 4) pages =
-  let config = { Config.default with Config.mapping_cache = mapping_capacity } in
+    mappings load once; above it every pass refaults (thrash).  [config]
+    overrides the swept configuration (the mapping-cache capacity is still
+    forced) — the FP experiment uses it to enable [fault_prefetch];
+    [prepare] runs on the freshly booted instance, as in {!thread_point}. *)
+let page_point ?config ?(mapping_capacity = 256) ?(passes = 4) ?(prepare = fun _ -> ())
+    pages =
+  let config =
+    {
+      (Option.value config ~default:Config.default) with
+      Config.mapping_cache = mapping_capacity;
+    }
+  in
   let inst = Setup.instance ~config ~cpus:1 () in
+  prepare inst;
   let ak = Setup.first_kernel inst in
   let mgr = ak.App_kernel.mgr in
   let vsp = Setup.ok (Segment_mgr.create_space mgr) in
@@ -134,5 +144,5 @@ let page_point ?(mapping_capacity = 256) ?(passes = 4) pages =
     us_per_access = elapsed /. float_of_int (passes * pages);
   }
 
-let page_sweep ?mapping_capacity ?passes working_sets =
-  List.map (page_point ?mapping_capacity ?passes) working_sets
+let page_sweep ?config ?mapping_capacity ?passes ?prepare working_sets =
+  List.map (page_point ?config ?mapping_capacity ?passes ?prepare) working_sets
