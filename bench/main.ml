@@ -837,6 +837,164 @@ let wallclock_suite ~quick =
   Printf.printf "\n  wrote BENCH_wallclock.json\n";
   if regressed then exit 1
 
+(* -- PL: replacement-policy shoot-out (bench --policy) --
+
+   Every policy (clock, strict LRU, FIFO + second chance, the learned
+   perceptron evictor, and the adaptive switcher) runs the same three
+   mapping/thread workloads: the C1 thread churn, the C2 sequential
+   over-capacity sweep (plus its FP prefetch variant, which feeds the
+   learned policy's waste prior), and the SK skewed working set where
+   recency-aware policies should hold the hot set resident.  Results are
+   merged into BENCH_metrics.json under "policy_sweep"; the run exits
+   nonzero if the adaptive policy is more than 10% slower than plain
+   clock on C1 (its settle window starts as clock, so it must not cost
+   anything when nothing degrades). *)
+
+let policy_choices =
+  [
+    Policy.Fixed Policy.Clock;
+    Policy.Fixed Policy.Lru;
+    Policy.Fixed Policy.Fifo;
+    Policy.Fixed Policy.Learned;
+    Policy.Adaptive;
+  ]
+
+let merge_into_bench_metrics key json =
+  match
+    let ic = open_in "BENCH_metrics.json" in
+    let s = In_channel.input_all ic in
+    close_in ic;
+    Json.of_string s
+  with
+  | Json.Obj fields ->
+    let fields = List.filter (fun (k, _) -> k <> key) fields in
+    Json.to_file "BENCH_metrics.json" (Json.Obj (fields @ [ (key, json) ]))
+  | _ | (exception _) -> Json.to_file "BENCH_metrics.json" (Json.Obj [ (key, json) ])
+
+let policy_suite ~quick =
+  section
+    (Printf.sprintf "PL. Replacement-policy shoot-out%s" (if quick then " (quick)" else ""));
+  let c1_threads = if quick then 96 else 128 in
+  let c1_rounds = if quick then 8 else 20 in
+  let c2_pages = if quick then 384 else 512 in
+  let c2_passes = if quick then 3 else 4 in
+  (* hot + one pass of cold must fit the 128-descriptor cache, or every
+     policy thrashes equally and the sweep measures nothing *)
+  let sk_cold = if quick then 32 else 24 in
+  let sk_passes = if quick then 4 else 8 in
+  Printf.printf "  %-9s %11s %7s %10s %9s %10s %8s %10s %6s %6s\n" "policy" "C1 us/rnd"
+    "C1 wb" "C2 us/acc" "C2 hit%" "FP us/acc" "SK hit%" "SK us/acc" "switch" "premat";
+  let rows = ref [] in
+  let results = ref [] in
+  List.iter
+    (fun choice ->
+      let name = Policy.choice_name choice in
+      let config = Config.with_policy Config.default choice in
+      let c1 =
+        Workload.Sweeps.thread_point ~config ~capacity:64 ~rounds:c1_rounds c1_threads
+      in
+      let c2 =
+        Workload.Sweeps.page_point ~config ~mapping_capacity:256 ~passes:c2_passes
+          c2_pages
+      in
+      let c2_hit =
+        1.0
+        -. float_of_int c2.Workload.Sweeps.faults
+           /. float_of_int (c2_passes * c2_pages)
+      in
+      let fp =
+        Workload.Sweeps.page_point
+          ~config:{ config with Config.fault_prefetch = 7 }
+          ~mapping_capacity:256 ~passes:c2_passes c2_pages
+      in
+      let sk_inst = ref None in
+      let sk =
+        Workload.Sweeps.skew_point ~config ~capacity:128 ~hot:96 ~cold:sk_cold
+          ~passes:sk_passes
+          ~prepare:(fun i -> sk_inst := Some i)
+          ()
+      in
+      let sk_counter name =
+        match !sk_inst with
+        | Some i -> Metrics.counter i.Instance.metrics name
+        | None -> 0
+      in
+      let sk_switches = sk_counter "policy.switch.mapping" in
+      let sk_premature = sk_counter "policy.premature.mapping" in
+      Printf.printf "  %-9s %11.1f %7d %10.2f %8.1f%% %10.2f %7.1f%% %10.2f %6d %6d\n"
+        name c1.Workload.Sweeps.us_per_thread_round c1.Workload.Sweeps.thread_writebacks
+        c2.Workload.Sweeps.us_per_access (100.0 *. c2_hit)
+        fp.Workload.Sweeps.us_per_access
+        (100.0 *. sk.Workload.Sweeps.skew_hit_rate)
+        sk.Workload.Sweeps.skew_us_per_access sk_switches sk_premature;
+      rows :=
+        Json.Obj
+          [
+            ("policy", Json.String name);
+            ( "c1",
+              Json.Obj
+                [
+                  ("threads", Json.Int c1_threads);
+                  ("us_per_thread_round", Json.Float c1.Workload.Sweeps.us_per_thread_round);
+                  ("thread_writebacks", Json.Int c1.Workload.Sweeps.thread_writebacks);
+                  ("reloads", Json.Int c1.Workload.Sweeps.reloads);
+                ] );
+            ( "c2",
+              Json.Obj
+                [
+                  ("pages", Json.Int c2_pages);
+                  ("mapping_loads", Json.Int c2.Workload.Sweeps.mapping_loads);
+                  ("faults_forwarded", Json.Int c2.Workload.Sweeps.faults);
+                  ("hit_rate", Json.Float c2_hit);
+                  ("us_per_access", Json.Float c2.Workload.Sweeps.us_per_access);
+                ] );
+            ( "fp",
+              Json.Obj
+                [
+                  ("faults_forwarded", Json.Int fp.Workload.Sweeps.faults);
+                  ("us_per_access", Json.Float fp.Workload.Sweeps.us_per_access);
+                ] );
+            ( "sk",
+              Json.Obj
+                [
+                  ("hot_pages", Json.Int sk.Workload.Sweeps.hot_pages);
+                  ("cold_per_pass", Json.Int sk.Workload.Sweeps.cold_per_pass);
+                  ("mapping_loads", Json.Int sk.Workload.Sweeps.skew_mapping_loads);
+                  ("faults_forwarded", Json.Int sk.Workload.Sweeps.skew_faults);
+                  ("hit_rate", Json.Float sk.Workload.Sweeps.skew_hit_rate);
+                  ("us_per_access", Json.Float sk.Workload.Sweeps.skew_us_per_access);
+                  ("policy_switches", Json.Int sk_switches);
+                  ("premature_reloads", Json.Int sk_premature);
+                ] );
+          ]
+        :: !rows;
+      results :=
+        (name, (c1.Workload.Sweeps.us_per_thread_round, sk.Workload.Sweeps.skew_hit_rate))
+        :: !results)
+    policy_choices;
+  let clock_c1, clock_sk = List.assoc "clock" !results in
+  let adaptive_c1, adaptive_sk = List.assoc "adaptive" !results in
+  let _, learned_sk = List.assoc "learned" !results in
+  let gate_failed = adaptive_c1 > clock_c1 *. 1.10 in
+  let beats_clock = learned_sk > clock_sk || adaptive_sk > clock_sk in
+  Printf.printf "  adaptive vs clock on C1: %.1f vs %.1f us/round (tolerance 1.10x)%s\n"
+    adaptive_c1 clock_c1
+    (if gate_failed then "  ** REGRESSION: adaptive costs more than clock **" else "");
+  Printf.printf
+    "  skewed-set hit rate: clock %.1f%%, learned %.1f%%, adaptive %.1f%%%s\n"
+    (100.0 *. clock_sk) (100.0 *. learned_sk) (100.0 *. adaptive_sk)
+    (if beats_clock then "" else "  ** neither learned nor adaptive beats clock **");
+  merge_into_bench_metrics "policy_sweep"
+    (Json.Obj
+       [
+         ("quick", Json.Bool quick);
+         ("policies", Json.List (List.rev !rows));
+         ("adaptive_c1_gate_failed", Json.Bool gate_failed);
+         ("beats_clock_on_skew", Json.Bool beats_clock);
+       ]);
+  Printf.printf "\n  merged policy_sweep into BENCH_metrics.json\n";
+  if gate_failed then exit 1
+
 let full_suite () =
   Printf.printf "Cache Kernel reproduction benchmarks (OSDI '94)\n";
   Printf.printf "simulated machine: 25 MHz MPM CPUs; times in simulated microseconds\n";
@@ -860,5 +1018,7 @@ let full_suite () =
 
 let () =
   let args = Array.to_list Sys.argv in
-  if List.mem "--wallclock" args then wallclock_suite ~quick:(List.mem "--quick" args)
+  let quick = List.mem "--quick" args in
+  if List.mem "--wallclock" args then wallclock_suite ~quick
+  else if List.mem "--policy" args then policy_suite ~quick
   else full_suite ()

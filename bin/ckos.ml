@@ -72,6 +72,13 @@ let chaos_config ~rate ~seed =
         migrate_drop = rate;
       }
 
+let parse_policy s =
+  match Policy.choice_of_string s with
+  | Ok c -> c
+  | Error msg ->
+    Fmt.epr "ckos: %s@." msg;
+    Stdlib.exit 1
+
 let print_chaos_balance inst =
   let m = inst.Instance.metrics in
   Fmt.pr "fault injection balance:@.";
@@ -122,19 +129,21 @@ let boot_and_run ?pause_us ~config ~cpus ~procs ~tracing () =
   ignore (Engine.run ?until_us:pause_us [| inst |]);
   (inst, emu)
 
-let run_workload cpus procs chaos chaos_seed prefetch batch audit audit_out metrics_out
-    trace_out =
+let run_workload cpus procs chaos chaos_seed prefetch batch policy audit audit_out
+    metrics_out trace_out =
   if prefetch < 0 || batch < 1 then begin
     Fmt.epr "ckos: --prefetch must be >= 0 and --batch >= 1@.";
     Stdlib.exit 1
   end;
   let config =
-    {
-      Config.default with
-      Config.chaos = chaos_config ~rate:chaos ~seed:chaos_seed;
-      fault_prefetch = prefetch;
-      mapping_batch_max = batch;
-    }
+    Config.with_policy
+      {
+        Config.default with
+        Config.chaos = chaos_config ~rate:chaos ~seed:chaos_seed;
+        fault_prefetch = prefetch;
+        mapping_batch_max = batch;
+      }
+      (parse_policy policy)
   in
   let inst, emu = boot_and_run ~config ~cpus ~procs ~tracing:(trace_out <> None) () in
   Fmt.pr "ran %d processes in %.1f ms simulated (%d syscalls)@."
@@ -332,6 +341,17 @@ let batch_arg =
     & info [ "batch" ] ~docv:"N"
         ~doc:"Maximum mapping specs accepted by one batched load call.")
 
+let policy_arg =
+  Arg.(
+    value
+    & opt string "clock"
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Replacement policy for every descriptor cache: $(b,clock) (the \
+           default second-chance scan), $(b,lru), $(b,fifo), $(b,learned) \
+           (online perceptron) or $(b,adaptive) (rotates policies when the \
+           hit rate degrades).")
+
 let run_term =
   let cpus = Arg.(value & opt int 4 & info [ "cpus" ] ~doc:"CPUs per MPM.") in
   let procs = Arg.(value & opt int 4 & info [ "procs" ] ~doc:"Processes to run.") in
@@ -352,7 +372,7 @@ let run_term =
   in
   Term.(
     const run_workload $ cpus $ procs $ chaos $ chaos_seed $ prefetch_arg $ batch_arg
-    $ audit_flag $ audit_out $ metrics_out $ trace_out)
+    $ policy_arg $ audit_flag $ audit_out $ metrics_out $ trace_out)
 
 let run_cmd = Cmd.v (Cmd.info "run" ~doc:"Run a UNIX workload and print statistics") run_term
 
@@ -374,11 +394,12 @@ let audit_term =
       & info [ "chaos-seed" ] ~docv:"N" ~doc:"Seed for the fault-injection PRNG streams.")
   in
   Term.(
-    const (fun cpus procs chaos seed prefetch batch audit_out metrics_out trace_out ->
-        run_workload cpus procs chaos seed prefetch batch true audit_out metrics_out
-          trace_out)
-    $ cpus $ procs $ chaos $ chaos_seed $ prefetch_arg $ batch_arg $ audit_out
-    $ metrics_out $ trace_out)
+    const
+      (fun cpus procs chaos seed prefetch batch policy audit_out metrics_out trace_out ->
+        run_workload cpus procs chaos seed prefetch batch policy true audit_out
+          metrics_out trace_out)
+    $ cpus $ procs $ chaos $ chaos_seed $ prefetch_arg $ batch_arg $ policy_arg
+    $ audit_out $ metrics_out $ trace_out)
 
 let audit_cmd =
   Cmd.v

@@ -387,6 +387,10 @@ let prefetch_window = 32
 
 let note_prefetch_outcome t ~used =
   let inst = t.env.inst in
+  (* the mapping cache's learned evictor keeps a waste prior over these
+     verdicts: mostly-wasted prefetches make never-referenced young
+     mappings better eviction candidates *)
+  Policy.note_prefetch_verdict (Mappings.policy inst.Instance.mappings) ~used;
   if used then begin
     t.prefetch_used <- t.prefetch_used + 1;
     Instance.count inst "prefetch.used"

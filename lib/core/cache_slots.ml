@@ -1,5 +1,6 @@
 (* Generic descriptor cache: a fixed array of slots with generation-tagged
-   identifiers and clock (second-chance) victim selection.
+   identifiers and pluggable victim selection ({!Policy}; clock
+   second-chance by default).
 
    The kernel, address-space and thread caches are instances of this
    functor ({!Caches}); the mapping cache has its own structure
@@ -13,6 +14,12 @@ module type DESC = sig
   val kind : Oid.kind
   val get_oid : t -> Oid.t
   val set_oid : t -> Oid.t -> unit
+
+  val key : t -> int
+  (** load-stable identity (the application kernel's tag/cookie): the
+      replacement policy uses it to recognise a reload of an entry it
+      recently displaced, which a fresh generation-tagged oid hides *)
+
   val locked : t -> bool
 
   val evictable : t -> bool
@@ -28,20 +35,18 @@ module Make (D : DESC) = struct
     slots : D.t option array;
     gens : int array;
     mutable free : int list;
-    mutable hand : int; (* clock hand for victim scans *)
     mutable live : int;
-    mutable last_scan : int; (* slots examined by the most recent victim scan *)
+    policy : Policy.t; (* victim selection, owns the clock hand *)
   }
 
-  let create ~capacity =
+  let create ?(policy = Policy.Fixed Policy.Clock) ~capacity () =
     if capacity <= 0 then invalid_arg "Cache_slots.create: capacity must be positive";
     {
       slots = Array.make capacity None;
       gens = Array.make capacity 0;
       free = List.init capacity Fun.id;
-      hand = 0;
       live = 0;
-      last_scan = 0;
+      policy = Policy.create ~capacity policy;
     }
 
   let capacity t = Array.length t.slots
@@ -60,6 +65,7 @@ module Make (D : DESC) = struct
       t.live <- t.live + 1;
       let oid = Oid.v ~kind:D.kind ~slot ~gen:t.gens.(slot) in
       D.set_oid d oid;
+      Policy.on_load t.policy ~slot ~key:(D.key d);
       Some oid
 
   (** Look up by identifier; fails on a stale generation (the object was
@@ -84,32 +90,35 @@ module Make (D : DESC) = struct
       t.gens.(oid.Oid.slot) <- t.gens.(oid.Oid.slot) + 1;
       t.free <- oid.Oid.slot :: t.free;
       t.live <- t.live - 1;
+      Policy.on_unload t.policy ~slot:oid.Oid.slot;
       Some d
 
-  (** Clock scan with second chance: returns an unlocked, evictable
-      descriptor, preferring ones not recently used.  [None] if every live
-      descriptor is locked or unevictable. *)
-  let victim t =
-    let n = Array.length t.slots in
-    let result = ref None in
-    let fallback = ref None in
-    let i = ref 0 in
-    while !result = None && !i < 2 * n do
-      (match t.slots.(t.hand) with
-      | Some d when (not (D.locked d)) && D.evictable d ->
-        if D.recently_used d then D.clear_recently_used d
-        else result := Some d;
-        if !fallback = None then fallback := Some d
-      | _ -> ());
-      t.hand <- (t.hand + 1) mod n;
-      incr i
-    done;
-    t.last_scan <- !i;
-    (match (!result, !fallback) with Some d, _ -> Some d | None, f -> f)
+  let view t =
+    {
+      Policy.get = (fun slot -> t.slots.(slot));
+      candidate = (fun d -> (not (D.locked d)) && D.evictable d);
+      referenced = D.recently_used;
+      clear_referenced = D.clear_recently_used;
+    }
+
+  (** Victim selection under the configured policy: returns an unlocked,
+      evictable descriptor.  [None] if every live descriptor is locked or
+      unevictable. *)
+  let victim t = Policy.select_object t.policy (view t)
 
   (** Slots examined by the most recent {!victim} call — the replacement
       effort metric ({!Metrics} victim_scan histograms). *)
-  let last_scan_length t = t.last_scan
+  let last_scan_length t = Policy.last_scan_length t.policy
+
+  let policy t = t.policy
+
+  (** Tell the policy [d] was displaced by replacement (not by request). *)
+  let note_displaced t d = Policy.note_displaced t.policy ~key:(D.key d)
+
+  (** Writeback feedback for the learned policy: was the victim from
+      [d]'s slot still referenced when written back? *)
+  let train t d ~referenced =
+    Policy.train t.policy ~slot:(D.get_oid d).Oid.slot ~referenced
 
   let iter t f = Array.iter (function None -> () | Some d -> f d) t.slots
 

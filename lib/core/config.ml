@@ -110,6 +110,11 @@ type t = {
   balance_hysteresis : int;
       (* runnable-thread spread tolerated before the most-loaded node
          migrates work to the least-loaded one *)
+  (* replacement policies (per cache type; see {!Policy}) *)
+  kernel_policy : Policy.choice;
+  space_policy : Policy.choice;
+  thread_policy : Policy.choice;
+  mapping_policy : Policy.choice;
   (* batched mapping loads & clustered fault prefetch *)
   mapping_batch_max : int;
       (* most mapping specs one [Api.load_mappings] call accepts: the batch
@@ -153,8 +158,22 @@ let default =
     migrate_max_retries = 6;
     balance_interval_us = 0.0;
     balance_hysteresis = 2;
+    kernel_policy = Policy.Fixed Policy.Clock;
+    space_policy = Policy.Fixed Policy.Clock;
+    thread_policy = Policy.Fixed Policy.Clock;
+    mapping_policy = Policy.Fixed Policy.Clock;
     mapping_batch_max = 16;
     fault_prefetch = 0;
+  }
+
+(** [t] with every cache type using replacement policy [choice]. *)
+let with_policy t choice =
+  {
+    t with
+    kernel_policy = choice;
+    space_policy = choice;
+    thread_policy = choice;
+    mapping_policy = choice;
   }
 
 (* Cycle costs of Cache Kernel suboperations (supervisor code sequences). *)

@@ -24,6 +24,12 @@ type m = {
          source frame read-only until the first write fault, when the Cache
          Kernel copies the page into this frame and remaps writable *)
   mutable locked : bool;
+  mutable removed : bool;
+      (* set once the record has left the cache: the re-entrant
+         consistency writeback ({!Replacement.writeback_mapping}) can
+         reach a sibling twice, and the flag makes the second visit an
+         exact no-op instead of a double-decrement hidden by counter
+         floors *)
   mutable aged_referenced : bool;
       (* page aging: the clock hand clears the hardware referenced bit to
          grant a second chance, which would otherwise destroy the only
@@ -38,31 +44,29 @@ let pfn (m : m) = m.pte.Hw.Page_table.frame
 type t = {
   slots : m option array;
   mutable free : int list;
-  mutable hand : int;
   mutable live : int;
+  policy : Policy.t; (* victim selection, owns the clock hand *)
   by_key : (int * int, int) Hashtbl.t; (* (space slot, vpn) -> slot *)
   by_pfn : (int, int list ref) Hashtbl.t; (* physical page -> slots *)
   by_thread : (Oid.t, int list ref) Hashtbl.t; (* signal thread -> slots *)
   mutable dependency_records : int; (* 16-byte descriptors in use *)
-  mutable last_scan : int; (* slots examined by the most recent victim scan *)
   mutable version : int;
       (* bumped on every structural change: the analogue of the version
          counters the lock-free implementation uses to detect concurrent
          modification (section 4.2) *)
 }
 
-let create ~capacity =
+let create ?(policy = Policy.Fixed Policy.Clock) ~capacity () =
   if capacity <= 0 then invalid_arg "Mappings.create: capacity must be positive";
   {
     slots = Array.make capacity None;
     free = List.init capacity Fun.id;
-    hand = 0;
     live = 0;
+    policy = Policy.create ~capacity policy;
     by_key = Hashtbl.create 1024;
     by_pfn = Hashtbl.create 1024;
     by_thread = Hashtbl.create 64;
     dependency_records = 0;
-    last_scan = 0;
     version = 0;
   }
 
@@ -102,11 +106,12 @@ let insert t ~owner ~space_slot ~space ~va ~pte ~signal_thread ~cow_dst ~locked 
   | slot :: rest ->
     let m =
       { slot; owner; space; va; pte; signal_thread; cow_dst; locked;
-        aged_referenced = false }
+        removed = false; aged_referenced = false }
     in
     t.free <- rest;
     t.slots.(slot) <- Some m;
     t.live <- t.live + 1;
+    Policy.on_load t.policy ~slot ~key:(Hashtbl.hash (key_of ~space_slot ~va));
     Hashtbl.replace t.by_key (key_of ~space_slot ~va) slot;
     multi_add t.by_pfn (pfn m) slot;
     (match signal_thread with Some th -> multi_add t.by_thread th slot | None -> ());
@@ -125,9 +130,11 @@ let remove t ~space_slot (m : m) =
   (match t.slots.(m.slot) with
   | Some m' when m' == m -> ()
   | _ -> invalid_arg "Mappings.remove: mapping not present");
+  m.removed <- true;
   t.slots.(m.slot) <- None;
   t.free <- m.slot :: t.free;
   t.live <- t.live - 1;
+  Policy.on_unload t.policy ~slot:m.slot;
   Hashtbl.remove t.by_key (key_of ~space_slot ~va:m.va);
   multi_remove t.by_pfn (pfn m) m.slot;
   (match m.signal_thread with Some th -> multi_remove t.by_thread th m.slot | None -> ());
@@ -174,30 +181,35 @@ let of_signal_thread t ~thread =
   | None -> []
   | Some l -> List.filter_map (fun s -> t.slots.(s)) !l
 
-(** Clock scan with second chance on the hardware referenced bit: returns a
-    victim for which [protected] is false.  The referenced bit is cleared
-    as the hand passes, so actively used mappings survive. *)
+(** Victim selection under the configured policy (clock second chance by
+    default): returns a victim for which [protected] is false.  Policies
+    age the hardware referenced bit as they scan, accumulating it into
+    [aged_referenced] so the writeback record still reports "referenced
+    since load". *)
 let victim t ~protected =
-  let n = Array.length t.slots in
-  let result = ref None in
-  let i = ref 0 in
-  while !result = None && !i < 2 * n do
-    (match t.slots.(t.hand) with
-    | Some m when not (protected m) ->
-      if m.pte.Hw.Page_table.referenced && !i < n then begin
-        m.pte.Hw.Page_table.referenced <- false;
-        m.aged_referenced <- true
-      end
-      else result := Some m
-    | _ -> ());
-    t.hand <- (t.hand + 1) mod n;
-    incr i
-  done;
-  t.last_scan <- !i;
-  !result
+  Policy.select_mapping t.policy
+    {
+      Policy.get = (fun slot -> t.slots.(slot));
+      candidate = (fun m -> not (protected m));
+      referenced = (fun m -> m.pte.Hw.Page_table.referenced);
+      clear_referenced =
+        (fun m ->
+          m.pte.Hw.Page_table.referenced <- false;
+          m.aged_referenced <- true);
+    }
 
 (** Slots examined by the most recent {!victim} call. *)
-let last_scan_length t = t.last_scan
+let last_scan_length t = Policy.last_scan_length t.policy
+
+let policy t = t.policy
+
+(** Tell the policy [m] was displaced by replacement (not by request). *)
+let note_displaced t ~space_slot (m : m) =
+  Policy.note_displaced t.policy ~key:(Hashtbl.hash (key_of ~space_slot ~va:m.va))
+
+(** Writeback feedback for the learned policy: was the victim from [m]'s
+    slot still referenced when written back? *)
+let train t (m : m) ~referenced = Policy.train t.policy ~slot:m.slot ~referenced
 
 let iter t f = Array.iter (function None -> () | Some m -> f m) t.slots
 

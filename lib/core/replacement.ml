@@ -73,7 +73,13 @@ let rec writeback_mapping t ~reason (space : Space_obj.t) (m : Mappings.m) =
     remove_one t ~reason space m;
     List.iter
       (fun (s : Mappings.m) ->
-        if s != m && s.Mappings.pte.Hw.Page_table.flags.Hw.Page_table.writable then
+        (* [removed] check: a nested consistency flush below may already
+           have written back a sibling captured in this list *)
+        if
+          s != m
+          && (not s.Mappings.removed)
+          && s.Mappings.pte.Hw.Page_table.flags.Hw.Page_table.writable
+        then
           match find_space t s.Mappings.space with
           | Some ssp -> writeback_mapping t ~reason:Wb.Consistency ssp s
           | None -> ())
@@ -82,24 +88,26 @@ let rec writeback_mapping t ~reason (space : Space_obj.t) (m : Mappings.m) =
   else remove_one t ~reason space m
 
 and remove_one t ~reason (space : Space_obj.t) (m : Mappings.m) =
-  let wb_t0 = now t in
-  let pte = m.Mappings.pte in
-  let vpn = Hw.Addr.page_of m.Mappings.va in
-  ignore (Hw.Page_table.remove space.Space_obj.table m.Mappings.va);
-  charge t Config.c_pte_remove;
-  flush_tlbs_page t ~asid:(Space_obj.asid space) ~vpn;
-  flush_rtlbs_pfn t ~pfn:(Mappings.pfn m);
-  Mappings.remove t.mappings ~space_slot:(Space_obj.asid space) m;
-  charge t (2 * Config.c_hash_update);
-  if m.Mappings.locked then begin
-    m.Mappings.locked <- false;
-    match find_kernel t m.Mappings.owner with
-    | Some k -> k.Kernel_obj.locked_count <- max 0 (k.Kernel_obj.locked_count - 1)
-    | None -> ()
-  end;
-  (* floored: a re-entrant consistency writeback can reach here twice for
-     the same mapping; the audit recount flags any residual drift *)
-  space.Space_obj.mapping_count <- max 0 (space.Space_obj.mapping_count - 1);
+  if m.Mappings.removed then ()
+  else begin
+    let wb_t0 = now t in
+    let pte = m.Mappings.pte in
+    let vpn = Hw.Addr.page_of m.Mappings.va in
+    ignore (Hw.Page_table.remove space.Space_obj.table m.Mappings.va);
+    charge t Config.c_pte_remove;
+    flush_tlbs_page t ~asid:(Space_obj.asid space) ~vpn;
+    flush_rtlbs_pfn t ~pfn:(Mappings.pfn m);
+    Mappings.remove t.mappings ~space_slot:(Space_obj.asid space) m;
+    charge t (2 * Config.c_hash_update);
+    if m.Mappings.locked then begin
+      m.Mappings.locked <- false;
+      match find_kernel t m.Mappings.owner with
+      | Some k -> k.Kernel_obj.locked_count <- k.Kernel_obj.locked_count - 1
+      | None -> ()
+    end;
+    (* exact: the [removed] guard above makes a second visit impossible,
+       so no [max 0] floor is needed to hide double-decrements *)
+    space.Space_obj.mapping_count <- space.Space_obj.mapping_count - 1;
   t.stats.Stats.mappings.Stats.unloads <- t.stats.Stats.mappings.Stats.unloads + 1;
   (match reason with
   | Wb.Displaced | Wb.Dependent | Wb.Consistency ->
@@ -121,7 +129,8 @@ and remove_one t ~reason (space : Space_obj.t) (m : Mappings.m) =
   push_writeback t ~owner:m.Mappings.owner
     (Wb.Mapping_wb
        { space = space.Space_obj.oid; space_tag = space.Space_obj.tag; state; reason });
-  observe_cycles t "wb.mapping_us" (now t - wb_t0)
+    observe_cycles t "wb.mapping_us" (now t - wb_t0)
+  end
 
 (** Free one mapping descriptor by evicting a victim.  False if every
     mapping is protected (whole chains locked). *)
@@ -133,7 +142,11 @@ let make_room_mapping t =
       (float_of_int (Mappings.last_scan_length t.mappings));
     match find_space t m.Mappings.space with
     | Some space ->
+      Mappings.note_displaced t.mappings ~space_slot:(Space_obj.asid space) m;
       writeback_mapping t ~reason:Wb.Displaced space m;
+      (* learned-policy label: the referenced bit the writeback carried *)
+      Mappings.train t.mappings m
+        ~referenced:m.Mappings.pte.Hw.Page_table.referenced;
       note_displacement t;
       true
     | None -> false)
@@ -148,7 +161,12 @@ let force_deschedule t (th : Thread_obj.t) =
   | Thread_obj.Running cpu_id ->
     t.running.(cpu_id) <- None;
     Hw.Cpu.charge t.node.Hw.Mpm.cpus.(cpu_id) Hw.Cost.context_switch;
-    th.Thread_obj.state <- Thread_obj.Ready
+    (* re-enqueue on the ready queue: a bare Ready flip would strand the
+       thread — the scheduler only dispatches queued identifiers, and a
+       caller that stops short of writeback would leave it undispatchable
+       (if the writeback does follow, the stale queue entry is dropped
+       harmlessly on the next scheduler scan) *)
+    make_ready t th
   | _ -> ()
 
 (** Unload a thread and write its saved state back to its owner.  The
@@ -219,6 +237,8 @@ let make_room_thread t =
   | Some th ->
     observe t "victim_scan.thread"
       (float_of_int (Caches.Thread_cache.last_scan_length t.threads));
+    Caches.Thread_cache.note_displaced t.threads th;
+    Caches.Thread_cache.train t.threads th ~referenced:th.Thread_obj.recently_used;
     unload_thread_now t ~reason:Wb.Displaced th;
     note_displacement t;
     true
@@ -266,8 +286,13 @@ let make_room_space t =
   | Some space ->
     observe t "victim_scan.space"
       (float_of_int (Caches.Space_cache.last_scan_length t.spaces));
+    let referenced = space.Space_obj.recently_used in
     let ok = unload_space_now t ~reason:Wb.Displaced space = `Done in
-    if ok then note_displacement t;
+    if ok then begin
+      Caches.Space_cache.note_displaced t.spaces space;
+      Caches.Space_cache.train t.spaces space ~referenced;
+      note_displacement t
+    end;
     ok
 
 (* -- Kernels -- *)
@@ -284,9 +309,17 @@ let spaces_of_kernel t (kernel : Oid.t) =
 let unload_kernel_now t ~reason (kernel : Kernel_obj.t) =
   let wb_t0 = now t in
   let spaces = spaces_of_kernel t kernel.Kernel_obj.oid in
-  let busy = List.exists (fun sp -> unload_space_now t ~reason:Wb.Dependent sp = `Busy) spaces in
+  (* Check busy-ness up front: writing spaces back one by one and stopping
+     at the first busy one would report [`Busy] with the kernel already
+     half-unloaded and no kernel writeback record to recover from. *)
+  let busy =
+    List.exists
+      (fun sp -> List.exists (is_active_thread t) (threads_of_space t sp.Space_obj.oid))
+      spaces
+  in
   if busy then `Busy
   else begin
+    List.iter (fun sp -> ignore (unload_space_now t ~reason:Wb.Dependent sp)) spaces;
     let oid = kernel.Kernel_obj.oid in
     ignore (Caches.Kernel_cache.unload t.kernels oid);
     (* the kernel writeback record is short: resource grants and handler
@@ -311,6 +344,11 @@ let make_room_kernel t =
   | Some k ->
     observe t "victim_scan.kernel"
       (float_of_int (Caches.Kernel_cache.last_scan_length t.kernels));
+    let referenced = k.Kernel_obj.recently_used in
     let ok = unload_kernel_now t ~reason:Wb.Displaced k = `Done in
-    if ok then note_displacement t;
+    if ok then begin
+      Caches.Kernel_cache.note_displaced t.kernels k;
+      Caches.Kernel_cache.train t.kernels k ~referenced;
+      note_displacement t
+    end;
     ok

@@ -146,3 +146,86 @@ let page_point ?config ?(mapping_capacity = 256) ?(passes = 4) ?(prepare = fun _
 
 let page_sweep ?config ?mapping_capacity ?passes ?prepare working_sets =
   List.map (page_point ?config ?mapping_capacity ?passes ?prepare) working_sets
+
+(* -- SK: skewed working set, the replacement-policy shoot-out -- *)
+
+type skew_point = {
+  hot_pages : int;
+  cold_per_pass : int;
+  skew_passes : int;
+  skew_capacity : int;
+  skew_mapping_loads : int;
+  skew_faults : int;
+  skew_hit_rate : float;
+  skew_us_per_access : float;
+}
+
+(** [hot] pages re-read on every pass plus [cold] fresh pages streamed
+    through per pass, against a mapping cache of [capacity] descriptors.
+    The hot set plus one pass of cold fits; the total does not.  A policy
+    that recognises the re-referenced hot set keeps it resident so only
+    the cold stream refaults; pure clock keeps sweeping its hand into the
+    hot set once the second-chance bits are spent.  The [config] override
+    carries the {!Cachekernel.Policy} choice being measured. *)
+let skew_point ?config ?(capacity = 128) ?(hot = 96) ?(cold = 64) ?(passes = 8)
+    ?(prepare = fun _ -> ()) () =
+  let config =
+    { (Option.value config ~default:Config.default) with Config.mapping_cache = capacity }
+  in
+  let inst = Setup.instance ~config ~cpus:1 () in
+  prepare inst;
+  let ak = Setup.first_kernel inst in
+  let mgr = ak.App_kernel.mgr in
+  let vsp = Setup.ok (Segment_mgr.create_space mgr) in
+  let pages = hot + (passes * cold) in
+  let seg = Segment_mgr.create_segment mgr ~name:"skew" ~pages in
+  let base = 0x40000000 in
+  Segment_mgr.attach_region mgr vsp
+    (Region.v ~va_start:base ~pages ~segment:seg ~seg_offset:0 ());
+  (* pre-resident, as in {!page_point}: mapping descriptors only *)
+  for page = 0 to pages - 1 do
+    let pfn = Option.get (Frame_alloc.alloc ak.App_kernel.frames) in
+    Segment.set_state seg page
+      (Segment.In_memory
+         { Segment.pfn; dirty = false; backing = None; mappers = []; cow_pending = None })
+  done;
+  let body () =
+    (* interleave the hot re-reads with the cold stream: the hardware
+       referenced bits are only harvested when a fault triggers a victim
+       scan, so the hot set must be touched *between* cold faults for a
+       recency-aware policy to see it (reading it all up front would leave
+       every scan but the first without a signal) *)
+    let stride = max 1 (hot / max 1 cold) in
+    for pass = 0 to passes - 1 do
+      for c = 0 to cold - 1 do
+        for j = 0 to stride - 1 do
+          let h = ((c * stride) + j) mod hot in
+          ignore (Hw.Exec.mem_read (base + (h * Hw.Addr.page_size)))
+        done;
+        let p = hot + (pass * cold) + c in
+        ignore (Hw.Exec.mem_read (base + (p * Hw.Addr.page_size)))
+      done;
+      for h = cold * stride to hot - 1 do
+        ignore (Hw.Exec.mem_read (base + (h * Hw.Addr.page_size)))
+      done
+    done
+  in
+  let t0 = Setup.now_us inst in
+  ignore
+    (Setup.ok
+       (Thread_lib.spawn ak.App_kernel.threads ~space_tag:vsp.Segment_mgr.tag ~priority:8
+          (Hw.Exec.unit_body body)));
+  ignore (Engine.run [| inst |]);
+  let elapsed = Setup.now_us inst -. t0 in
+  let accesses = passes * (hot + cold) in
+  let faults = inst.Instance.stats.Stats.faults_forwarded in
+  {
+    hot_pages = hot;
+    cold_per_pass = cold;
+    skew_passes = passes;
+    skew_capacity = capacity;
+    skew_mapping_loads = inst.Instance.stats.Stats.mappings.Stats.loads;
+    skew_faults = faults;
+    skew_hit_rate = 1.0 -. (float_of_int faults /. float_of_int accesses);
+    skew_us_per_access = elapsed /. float_of_int accesses;
+  }

@@ -64,6 +64,30 @@ let test_clean_run () =
   Alcotest.(check int) "no violations counted" 0
     (counter inst "audit.violation.counter" + counter inst "audit.violation.dependency")
 
+let test_exact_counters () =
+  (* the denormalised per-object counters must equal a live recount
+     exactly — not merely stay non-negative under clamped decrements *)
+  let inst, vsp = fig2_run ~pages:6 () in
+  let sp = demo_space inst vsp in
+  let live sp =
+    List.length (Mappings.of_space inst.Instance.mappings ~space_slot:(Space_obj.asid sp))
+  in
+  Alcotest.(check int) "mapping_count exact after faults" (live sp)
+    sp.Space_obj.mapping_count;
+  (* a double writeback of the same record must be an exact no-op: the
+     second visit may happen when the consistency cascade reaches a
+     sibling the outer loop still holds *)
+  (match Mappings.of_space inst.Instance.mappings ~space_slot:(Space_obj.asid sp) with
+  | [] -> Alcotest.fail "expected live mappings"
+  | m :: _ ->
+    let before = sp.Space_obj.mapping_count in
+    Replacement.writeback_mapping inst ~reason:Wb.Requested sp m;
+    Alcotest.(check int) "exact decrement" (before - 1) sp.Space_obj.mapping_count;
+    Replacement.writeback_mapping inst ~reason:Wb.Requested sp m;
+    Alcotest.(check int) "second visit is a no-op" (before - 1) sp.Space_obj.mapping_count);
+  Alcotest.(check int) "recount still matches" (live sp) sp.Space_obj.mapping_count;
+  check_clean "post-writeback audit" (Audit.run ~repair:false inst)
+
 let test_clean_after_crash () =
   (* node crash discards descriptors without writeback; the [discarded]
      stats keep the conservation invariant true *)
@@ -386,6 +410,7 @@ let () =
       ( "clean",
         [
           Alcotest.test_case "workload audits clean" `Quick test_clean_run;
+          Alcotest.test_case "counters are exact" `Quick test_exact_counters;
           Alcotest.test_case "post-crash conservation" `Quick test_clean_after_crash;
           QCheck_alcotest.to_alcotest qcheck_workload_invariants;
         ] );
