@@ -995,6 +995,162 @@ let policy_suite ~quick =
   Printf.printf "\n  merged policy_sweep into BENCH_metrics.json\n";
   if gate_failed then exit 1
 
+(* -- TS: tiered backing store (bench --tiers) --
+
+   The same bounded-frame paging workload runs against the seed's flat
+   store (slots = 0) and the two-tier store under each placement
+   classifier.  The table splits fault-service latency by tier — a fast
+   hit is a RAM copy (~0.1 ms) where a slow hit pays the full disk path
+   (~12 ms) — and reports what share of the re-referenced hot set the
+   classifier kept at RAM cost.  A second table checkpoints the kernel at
+   varying tier mixes: every fast-resident image must flush to the paging
+   disk before capture, so the modeled persistence pause grows with the
+   fast tier.  Gates (exit nonzero): the tiered store must not regress
+   C1 us/round or TS us/access by more than 1.10x vs flat, fast-tier
+   service must be strictly cheaper than slow, and the recency classifier
+   must serve at least half of hot-set refaults from the fast tier. *)
+
+let tiers_suite ~quick =
+  section
+    (Printf.sprintf "TS. Tiered backing store%s" (if quick then " (quick)" else ""));
+  let passes = if quick then 5 else 8 in
+  let hot = 64 and cold = 32 and frames = 64 and slots = 64 in
+  let placements =
+    [
+      ("flat", 0, Config.Tier_recency);
+      ("off", slots, Config.Tier_off);
+      ("recency", slots, Config.Tier_recency);
+      ("referenced", slots, Config.Tier_referenced);
+    ]
+  in
+  Printf.printf "  %-11s %8s %9s %9s %7s %11s %11s %8s %8s %10s\n" "store" "pg-ins"
+    "fast-hit" "slow-hit" "fast%" "fast us" "slow us" "promote" "demote" "us/access";
+  let rows = ref [] in
+  let results = ref [] in
+  List.iter
+    (fun (label, slots, placement) ->
+      let p =
+        Workload.Sweeps.tier_point ~slots ~placement ~hot ~cold ~passes ~frames ()
+      in
+      Printf.printf "  %-11s %8d %9d %9d %6.1f%% %11.1f %11.1f %8d %8d %10.2f\n" label
+        p.Workload.Sweeps.ts_page_ins p.Workload.Sweeps.ts_fast_hits
+        p.Workload.Sweeps.ts_slow_hits
+        (100.0 *. p.Workload.Sweeps.ts_fast_share)
+        p.Workload.Sweeps.ts_fast_mean_us p.Workload.Sweeps.ts_slow_mean_us
+        p.Workload.Sweeps.ts_promotes p.Workload.Sweeps.ts_demotes
+        p.Workload.Sweeps.ts_us_per_access;
+      rows :=
+        Json.Obj
+          [
+            ("store", Json.String label);
+            ("slots", Json.Int p.Workload.Sweeps.ts_slots);
+            ("placement", Json.String p.Workload.Sweeps.ts_placement);
+            ("page_ins", Json.Int p.Workload.Sweeps.ts_page_ins);
+            ("page_outs", Json.Int p.Workload.Sweeps.ts_page_outs);
+            ("fast_hits", Json.Int p.Workload.Sweeps.ts_fast_hits);
+            ("slow_hits", Json.Int p.Workload.Sweeps.ts_slow_hits);
+            ("fast_share", Json.Float p.Workload.Sweeps.ts_fast_share);
+            ("promotes", Json.Int p.Workload.Sweeps.ts_promotes);
+            ("demotes", Json.Int p.Workload.Sweeps.ts_demotes);
+            ("fast_mean_us", Json.Float p.Workload.Sweeps.ts_fast_mean_us);
+            ("slow_mean_us", Json.Float p.Workload.Sweeps.ts_slow_mean_us);
+            ("us_per_access", Json.Float p.Workload.Sweeps.ts_us_per_access);
+          ]
+        :: !rows;
+      results := (label, p) :: !results)
+    placements;
+  (* checkpoint pause vs tier mix: everything fast-resident flushes to the
+     paging disk before capture *)
+  Printf.printf "\n  checkpoint pause vs tier mix:\n";
+  Printf.printf "  %-11s %13s %8s %13s\n" "slots" "fast-resident" "flushed" "pause us";
+  let ck_rows = ref [] in
+  List.iter
+    (fun slots ->
+      let resident = ref 0 and flushed = ref 0 in
+      ignore
+        (Workload.Sweeps.tier_point ~slots ~placement:Config.Tier_recency ~hot ~cold
+           ~passes:(if quick then 3 else 5)
+           ~frames
+           ~finish:(fun inst ak ->
+             resident := Aklib.Backing_store.fast_resident ak.Aklib.App_kernel.store;
+             let path = Filename.temp_file "ckos_tier" ".ckpt" in
+             ignore (Migrate.Checkpoint.save ak ~path ());
+             Sys.remove path;
+             flushed := Metrics.counter inst.Instance.metrics "checkpoint.tier_flush")
+           ());
+      let pause_us =
+        if !flushed = 0 then 0.0
+        else
+          Hw.Cost.us_of_cycles
+            (Hw.Cost.disk_seek + (!flushed * Hw.Cost.disk_page_transfer))
+      in
+      Printf.printf "  %-11d %13d %8d %13.1f\n" slots !resident !flushed pause_us;
+      ck_rows :=
+        Json.Obj
+          [
+            ("slots", Json.Int slots);
+            ("fast_resident", Json.Int !resident);
+            ("flushed", Json.Int !flushed);
+            ("pause_us", Json.Float pause_us);
+          ]
+        :: !ck_rows)
+    [ 0; 32; 128 ];
+  (* C1 non-interference: the thread sweep never pages, so enabling the
+     tier must cost nothing there *)
+  let c1_threads = if quick then 96 else 128 in
+  let c1_rounds = if quick then 8 else 20 in
+  let c1_flat =
+    Workload.Sweeps.thread_point ~capacity:64 ~rounds:c1_rounds c1_threads
+  in
+  let c1_tiered =
+    Workload.Sweeps.thread_point
+      ~config:{ Config.default with Config.fast_tier_slots = slots }
+      ~capacity:64 ~rounds:c1_rounds c1_threads
+  in
+  let flat = List.assoc "flat" !results in
+  let recency = List.assoc "recency" !results in
+  let c1_gate =
+    c1_tiered.Workload.Sweeps.us_per_thread_round
+    > c1_flat.Workload.Sweeps.us_per_thread_round *. 1.10
+  in
+  let ts_gate =
+    recency.Workload.Sweeps.ts_us_per_access
+    > flat.Workload.Sweeps.ts_us_per_access *. 1.10
+  in
+  let latency_gate =
+    not
+      (recency.Workload.Sweeps.ts_fast_mean_us
+      < recency.Workload.Sweeps.ts_slow_mean_us)
+  in
+  let share_gate = recency.Workload.Sweeps.ts_fast_share < 0.5 in
+  Printf.printf "\n  tiered vs flat on C1: %.1f vs %.1f us/round (tolerance 1.10x)%s\n"
+    c1_tiered.Workload.Sweeps.us_per_thread_round
+    c1_flat.Workload.Sweeps.us_per_thread_round
+    (if c1_gate then "  ** REGRESSION **" else "");
+  Printf.printf "  tiered vs flat on TS: %.2f vs %.2f us/access (tolerance 1.10x)%s\n"
+    recency.Workload.Sweeps.ts_us_per_access flat.Workload.Sweeps.ts_us_per_access
+    (if ts_gate then "  ** REGRESSION **" else "");
+  Printf.printf "  fast vs slow service: %.1f vs %.1f us%s\n"
+    recency.Workload.Sweeps.ts_fast_mean_us recency.Workload.Sweeps.ts_slow_mean_us
+    (if latency_gate then "  ** fast tier not faster **" else "");
+  Printf.printf "  hot-set refaults served fast: %.1f%% (floor 50%%)%s\n"
+    (100.0 *. recency.Workload.Sweeps.ts_fast_share)
+    (if share_gate then "  ** below floor **" else "");
+  let failed = c1_gate || ts_gate || latency_gate || share_gate in
+  merge_into_bench_metrics "tier_sweep"
+    (Json.Obj
+       [
+         ("quick", Json.Bool quick);
+         ("stores", Json.List (List.rev !rows));
+         ("checkpoint_mix", Json.List (List.rev !ck_rows));
+         ("c1_flat_us_per_round", Json.Float c1_flat.Workload.Sweeps.us_per_thread_round);
+         ( "c1_tiered_us_per_round",
+           Json.Float c1_tiered.Workload.Sweeps.us_per_thread_round );
+         ("gate_failed", Json.Bool failed);
+       ]);
+  Printf.printf "\n  merged tier_sweep into BENCH_metrics.json\n";
+  if failed then exit 1
+
 let full_suite () =
   Printf.printf "Cache Kernel reproduction benchmarks (OSDI '94)\n";
   Printf.printf "simulated machine: 25 MHz MPM CPUs; times in simulated microseconds\n";
@@ -1021,4 +1177,5 @@ let () =
   let quick = List.mem "--quick" args in
   if List.mem "--wallclock" args then wallclock_suite ~quick
   else if List.mem "--policy" args then policy_suite ~quick
+  else if List.mem "--tiers" args then tiers_suite ~quick
   else full_suite ()

@@ -54,8 +54,9 @@ let export_observability inst ~metrics_out ~trace_out =
 (* The sites ckos knows how to balance-print; must match the names in
    DESIGN.md section 6 (injection & recovery). *)
 let chaos_sites =
-  [ "bstore.fail"; "bstore.delay"; "signal.drop"; "signal.dup"; "stale.load";
-    "fault.forward"; "node.crash"; "migrate.drop" ]
+  [ "bstore.fail"; "bstore.delay"; "tier.promote.fail"; "tier.promote.delay";
+    "tier.demote.fail"; "tier.demote.delay"; "signal.drop"; "signal.dup";
+    "stale.load"; "fault.forward"; "node.crash"; "migrate.drop" ]
 
 let chaos_config ~rate ~seed =
   if rate <= 0.0 then None
@@ -66,6 +67,8 @@ let chaos_config ~rate ~seed =
         Config.chaos_seed = seed;
         io_fail = rate;
         io_delay = rate /. 2.;
+        tier_fail = rate;
+        tier_delay = rate /. 2.;
         signal_drop = rate;
         stale_rate = rate;
         forward_drop = rate;
@@ -77,6 +80,13 @@ let parse_policy s =
   | Ok c -> c
   | Error msg ->
     Fmt.epr "ckos: %s@." msg;
+    Stdlib.exit 1
+
+let parse_placement s =
+  match Config.tier_placement_of_string s with
+  | Some p -> p
+  | None ->
+    Fmt.epr "ckos: unknown placement %S (expected recency, referenced or off)@." s;
     Stdlib.exit 1
 
 let print_chaos_balance inst =
@@ -129,10 +139,14 @@ let boot_and_run ?pause_us ~config ~cpus ~procs ~tracing () =
   ignore (Engine.run ?until_us:pause_us [| inst |]);
   (inst, emu)
 
-let run_workload cpus procs chaos chaos_seed prefetch batch policy audit audit_out
-    metrics_out trace_out =
+let run_workload cpus procs chaos chaos_seed prefetch batch policy tiers placement audit
+    audit_out metrics_out trace_out =
   if prefetch < 0 || batch < 1 then begin
     Fmt.epr "ckos: --prefetch must be >= 0 and --batch >= 1@.";
+    Stdlib.exit 1
+  end;
+  if tiers < 0 then begin
+    Fmt.epr "ckos: --tiers must be >= 0@.";
     Stdlib.exit 1
   end;
   let config =
@@ -142,6 +156,8 @@ let run_workload cpus procs chaos chaos_seed prefetch batch policy audit audit_o
         Config.chaos = chaos_config ~rate:chaos ~seed:chaos_seed;
         fault_prefetch = prefetch;
         mapping_batch_max = batch;
+        fast_tier_slots = tiers;
+        tier_placement = parse_placement placement;
       }
       (parse_policy policy)
   in
@@ -352,6 +368,27 @@ let policy_arg =
            (online perceptron) or $(b,adaptive) (rotates policies when the \
            hit rate degrades).")
 
+let tiers_arg =
+  Arg.(
+    value
+    & opt int Config.default.Config.fast_tier_slots
+    & info [ "tiers" ] ~docv:"N"
+        ~doc:
+          "Enable the tiered backing store with a fast tier of $(docv) page \
+           slots (a pinned local-RAM backing segment in front of the paging \
+           disk; 0, the default, keeps the flat single-tier store).")
+
+let placement_arg =
+  Arg.(
+    value
+    & opt string (Config.tier_placement_name Config.default.Config.tier_placement)
+    & info [ "placement" ] ~docv:"CLASSIFIER"
+        ~doc:
+          "Hot/cold placement classifier for the tiered store: $(b,recency) \
+           (second-touch admission within the hot window, the default), \
+           $(b,referenced) (admit iff the evicted frame's referenced/aged \
+           bits were set) or $(b,off) (admit everything, pure LRU demotion).")
+
 let run_term =
   let cpus = Arg.(value & opt int 4 & info [ "cpus" ] ~doc:"CPUs per MPM.") in
   let procs = Arg.(value & opt int 4 & info [ "procs" ] ~doc:"Processes to run.") in
@@ -372,7 +409,8 @@ let run_term =
   in
   Term.(
     const run_workload $ cpus $ procs $ chaos $ chaos_seed $ prefetch_arg $ batch_arg
-    $ policy_arg $ audit_flag $ audit_out $ metrics_out $ trace_out)
+    $ policy_arg $ tiers_arg $ placement_arg $ audit_flag $ audit_out $ metrics_out
+    $ trace_out)
 
 let run_cmd = Cmd.v (Cmd.info "run" ~doc:"Run a UNIX workload and print statistics") run_term
 
@@ -395,11 +433,12 @@ let audit_term =
   in
   Term.(
     const
-      (fun cpus procs chaos seed prefetch batch policy audit_out metrics_out trace_out ->
-        run_workload cpus procs chaos seed prefetch batch policy true audit_out
-          metrics_out trace_out)
+      (fun cpus procs chaos seed prefetch batch policy tiers placement audit_out
+           metrics_out trace_out ->
+        run_workload cpus procs chaos seed prefetch batch policy tiers placement true
+          audit_out metrics_out trace_out)
     $ cpus $ procs $ chaos $ chaos_seed $ prefetch_arg $ batch_arg $ policy_arg
-    $ audit_out $ metrics_out $ trace_out)
+    $ tiers_arg $ placement_arg $ audit_out $ metrics_out $ trace_out)
 
 let audit_cmd =
   Cmd.v

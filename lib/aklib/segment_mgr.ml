@@ -670,6 +670,10 @@ let handle_mapping_writeback t ~space_tag (state : Wb.mapping_state) =
       Hashtbl.remove t.prefetched (vsp.tag, state.Wb.va);
       note_prefetch_outcome t ~used:state.Wb.referenced
     end;
+    (* the tiered store classifies the frame's next page-out from these
+       referenced/aged-referenced bits (no-op on a flat store) *)
+    Backing_store.note_pfn_referenced t.env.store ~pfn:state.Wb.pfn
+      ~referenced:state.Wb.referenced;
     match region_of vsp state.Wb.va with
     | None -> ()
     | Some region -> (

@@ -18,7 +18,7 @@
    - quota: per-kernel consumed cycles stay within the premium-charging
      envelope of the current epoch;
    - ledger: whatever extra checks upper layers registered through
-     {!Instance.audit_extra} (the SRM group/CPU/net conservation).
+     {!Instance.add_audit_hook} hooks (the SRM group/CPU/net conservation, the tiered backing store).
 
    Checks never charge simulated cycles — auditing is observability, and
    instrumentation must not perturb the cost model (DESIGN.md section 7).
@@ -410,13 +410,13 @@ let run ?(repair = false) t =
   check_counters t ~repair acc;
   check_conservation t ~repair acc;
   check_quota t ~repair acc;
-  (match t.audit_extra with
-  | None -> ()
-  | Some extra ->
-    List.iter
-      (fun (check, subject, detail, repaired) ->
-        flag t acc ~check ~subject ~detail ~repaired)
-      (extra ~repair));
+  List.iter
+    (fun extra ->
+      List.iter
+        (fun (check, subject, detail, repaired) ->
+          flag t acc ~check ~subject ~detail ~repaired)
+        (extra ~repair))
+    t.audit_hooks;
   { at_us = Hw.Cost.us_of_cycles (Hw.Mpm.now t.node); violations = List.rev !acc }
 
 let violation_json v =

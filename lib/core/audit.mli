@@ -3,7 +3,7 @@
     Walks one Cache Kernel instance and checks that the four object
     caches, the MMU state (page tables, TLBs, reverse TLBs), the derived
     counters, the per-type load/unload statistics and any registered
-    upper-layer ledgers ({!Instance.audit_extra}) are mutually consistent
+    upper-layer ledgers ({!Instance.add_audit_hook}) are mutually consistent
     — the invariants the paper's dependency-ordered replacement (section
     4.2, Figure 6) and SRM grant conservation (section 3) promise.
 

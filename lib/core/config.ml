@@ -29,6 +29,8 @@ type chaos = {
   stale_rate : float; (* an object load observes a stale space identifier *)
   forward_drop : float; (* a fault forward is dropped (the access refaults) *)
   migrate_drop : float; (* a migration chunk is lost on the fiber (retransmitted) *)
+  tier_fail : float; (* a tier promotion/demotion transfer fails (retried) *)
+  tier_delay : float; (* a tier promotion/demotion is delayed by [io_delay_us] *)
   crash_at_us : float option; (* halt the whole MPM at this simulated time *)
 }
 
@@ -46,8 +48,35 @@ let chaos_default =
     stale_rate = 0.0;
     forward_drop = 0.0;
     migrate_drop = 0.0;
+    tier_fail = 0.0;
+    tier_delay = 0.0;
     crash_at_us = None;
   }
+
+(* Hot/cold placement classifier for the tiered backing store.  A page-out
+   image judged hot lands in the fast tier (local-RAM backing segment);
+   cold images go straight to the paging disk. *)
+type tier_placement =
+  | Tier_recency
+      (* second-touch admission: hot iff the block was already transferred
+         within [tier_hot_window_us]; first-sight images go to disk and
+         earn promotion on their first refault (streaming writes never
+         pollute the fast tier) *)
+  | Tier_referenced (* hot iff the referenced/aged_referenced bits say so *)
+  | Tier_off
+      (* classifier off: every image is placed fast-first and pure LRU
+         demotion does the sorting (the no-intelligence baseline) *)
+
+let tier_placement_name = function
+  | Tier_recency -> "recency"
+  | Tier_referenced -> "referenced"
+  | Tier_off -> "off"
+
+let tier_placement_of_string = function
+  | "recency" -> Some Tier_recency
+  | "referenced" -> Some Tier_referenced
+  | "off" -> Some Tier_off
+  | _ -> None
 
 type t = {
   (* Table 1: cache capacities *)
@@ -126,6 +155,15 @@ type t = {
          same batch as the faulting mapping; 0 disables prefetch entirely
          (the adaptive throttle can lower the effective depth, never raise
          it past this) *)
+  (* tiered backing store (fast local-RAM tier over the paging disk) *)
+  fast_tier_slots : int;
+      (* page capacity of the fast backing tier; 0 keeps the seed's flat
+         single-tier store, bit-for-bit (the equivalence suite pins this) *)
+  tier_placement : tier_placement;
+  tier_hot_window_us : float;
+      (* recency classifier: a block re-touched within this many simulated
+         us of its last transfer counts as hot *)
+  tier_batch : int; (* fast-tier demotions per batched disk transfer *)
 }
 
 let default =
@@ -164,6 +202,10 @@ let default =
     mapping_policy = Policy.Fixed Policy.Clock;
     mapping_batch_max = 16;
     fault_prefetch = 0;
+    fast_tier_slots = 0;
+    tier_placement = Tier_recency;
+    tier_hot_window_us = 500_000.0;
+    tier_batch = 8;
   }
 
 (** [t] with every cache type using replacement policy [choice]. *)

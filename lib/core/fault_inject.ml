@@ -137,6 +137,30 @@ let io_fate t =
         `Delay c.io_delay_us
       end)
 
+(** Fate of one tier promotion ([promote]) or batched demotion transfer in
+    the tiered backing store.  Same protocol as {!io_fate}: a [`Fail] marks
+    the per-direction site pending so the retry always transfers, a
+    [`Delay] completes on its own.  Promotion and demotion own separate
+    streams, so a promotion-heavy run never perturbs demotion draws. *)
+let tier_fate t ~promote =
+  match t.chaos with
+  | None -> `Ok
+  | Some c -> (
+    let site = if promote then "tier.promote" else "tier.demote" in
+    match decide t ~site ~rate:(c.tier_fail +. c.tier_delay) with
+    | Pass -> `Ok
+    | After_inject -> `Ok_after_fail
+    | Inject ->
+      if
+        c.tier_fail > 0.0
+        && draw t ~site:"tier.kind" c.chaos_seed < c.tier_fail /. (c.tier_fail +. c.tier_delay)
+      then `Fail
+      else begin
+        (* a delay completes by itself: it is not a pending failure *)
+        Hashtbl.remove t.pending site;
+        `Delay c.io_delay_us
+      end)
+
 (** Fate of one signal delivery.  Drops are recovered by a scheduled
     redelivery (which bypasses injection), so no pending flag is needed. *)
 let signal_fate t =

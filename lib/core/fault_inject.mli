@@ -49,6 +49,11 @@ val io_fate : t -> [ `Ok | `Ok_after_fail | `Fail | `Delay of float ]
     [`Ok_after_fail] is the retry after a [`Fail] (always succeeds);
     [`Delay us] completes on its own after an extra [us] microseconds. *)
 
+val tier_fate : t -> promote:bool -> [ `Ok | `Ok_after_fail | `Fail | `Delay of float ]
+(** Sites [tier.promote] / [tier.demote]: fate of one transfer on the
+    tiered backing store's promotion or demotion path, with the same
+    never-twice-in-a-row retry protocol as {!io_fate}. *)
+
 val signal_fate : t -> [ `Deliver | `Drop | `Duplicate ]
 (** Site [signal]: fate of one signal delivery. *)
 

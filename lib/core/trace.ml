@@ -41,6 +41,7 @@ type event =
   | Migrate_acked of { xfer : int; ok : bool }
   | Migrate_forwarded of { xfer : int; va : int }
   | Checkpointed of { restore : bool; bytes : int }
+  | Tier_move of { block : int; to_fast : bool; batch : int }
   | Custom of string
 
 let pp_event ppf = function
@@ -92,6 +93,10 @@ let pp_event ppf = function
     Fmt.pf ppf "migrate-forwarded xfer=%d va=%a" xfer Hw.Addr.pp_addr va
   | Checkpointed { restore; bytes } ->
     Fmt.pf ppf "%s %d B" (if restore then "restored" else "checkpointed") bytes
+  | Tier_move { block; to_fast; batch } ->
+    Fmt.pf ppf "tier-move block=%d -> %s (batch %d)" block
+      (if to_fast then "fast" else "slow")
+      batch
   | Custom s -> Fmt.string ppf s
 
 let event_name = function
@@ -123,6 +128,7 @@ let event_name = function
   | Migrate_acked _ -> "migrate_acked"
   | Migrate_forwarded _ -> "migrate_forwarded"
   | Checkpointed _ -> "checkpointed"
+  | Tier_move _ -> "tier_move"
   | Custom _ -> "custom"
 
 let event_fields ev =
@@ -168,6 +174,8 @@ let event_fields ev =
   | Migrate_forwarded { xfer; va } -> [ ("xfer", Json.Int xfer); ("va", Json.Int va) ]
   | Checkpointed { restore; bytes } ->
     [ ("restore", Json.Bool restore); ("bytes", Json.Int bytes) ]
+  | Tier_move { block; to_fast; batch } ->
+    [ ("block", Json.Int block); ("to_fast", Json.Bool to_fast); ("batch", Json.Int batch) ]
   | Custom s -> [ ("text", Json.String s) ]
 
 type entry = { time : Hw.Cost.cycles; event : event }

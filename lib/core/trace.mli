@@ -35,6 +35,7 @@ type event =
   | Migrate_acked of { xfer : int; ok : bool }
   | Migrate_forwarded of { xfer : int; va : int }
   | Checkpointed of { restore : bool; bytes : int }
+  | Tier_move of { block : int; to_fast : bool; batch : int }
   | Custom of string
 
 val pp_event : event Fmt.t

@@ -81,5 +81,13 @@ let vme_serialize bytes : cycles = bytes
 
 let disk_seek : cycles = 250_000 (* 10 ms *)
 let disk_page_transfer : cycles = 50_000 (* 2 ms per 4 KB page *)
+
+(* Fast paging tier: a pinned local-RAM backing segment.  Moving a page is
+   a memory-to-memory copy plus a little channel setup — no seek, no
+   rotational transfer — which is what makes tiering the backing store
+   worthwhile at all (~100 us against ~12 ms for the disk path). *)
+
+let fast_tier_setup : cycles = 400
+let fast_tier_page_copy : cycles = 2048 (* 4 KB at 2 cycles per cached word *)
 let ethernet_dma_setup : cycles = 400
 let ethernet_wire : cycles = 30_000 (* 1.2 ms for a full frame at 10 Mb *)

@@ -69,6 +69,11 @@ let image_of ak ?(extras = []) ?(name_of = fun (_ : Thread_lib.entry) -> "") () 
    extras appended later) to [path].  Returns the image size in bytes. *)
 let save_image ak ~path img =
   let i = ak.App_kernel.inst in
+  (* a checkpoint must not depend on the volatile fast tier: demote every
+     fast-resident image to the paging disk first (the flush count models
+     the extra persistence pause) *)
+  let flushed = Backing_store.checkpoint_flush ak.App_kernel.store in
+  if flushed > 0 then Metrics.incr ~by:flushed i.Instance.metrics "checkpoint.tier_flush";
   let bytes = Codec.encode img in
   (* stage through the paging disk: the checkpoint leaves via the backing
      store, charged as ordinary block writes/reads *)

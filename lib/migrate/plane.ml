@@ -131,12 +131,15 @@ let segment_pages ak (seg : Segment.t) =
       match Segment.state seg page with
       | Segment.Zero -> None
       | Segment.In_memory r -> Some (read_frame ak r.Segment.pfn)
-      | Segment.On_disk block -> Some (Hw.Disk.read_now ak.App_kernel.disk ~block)
+      | Segment.On_disk block ->
+        (* through the store, not the raw disk: the authoritative copy may
+           live in the fast tier *)
+        Some (Backing_store.read_block_now ak.App_kernel.store ~block)
       | Segment.Cow_of (pseg, ppage) -> (
         (* deferred copy: the content still lives with the parent *)
         match Segment.state pseg ppage with
         | Segment.In_memory r -> Some (read_frame ak r.Segment.pfn)
-        | Segment.On_disk block -> Some (Hw.Disk.read_now ak.App_kernel.disk ~block)
+        | Segment.On_disk block -> Some (Backing_store.read_block_now ak.App_kernel.store ~block)
         | _ -> None)
     in
     match data with

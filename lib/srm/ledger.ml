@@ -87,7 +87,7 @@ let release t (g : grant) =
    free_groups plus the granted groups must partition the governed set,
    and committed CPU/net percentages must equal the sums over live
    grants.  Returns (check, subject, detail, repaired) tuples in the shape
-   {!Cachekernel.Instance.audit_extra} expects; with [repair] the
+   {!Cachekernel.Instance.add_audit_hook} expects; with [repair] the
    committed totals are recomputed from the grants and leaked groups are
    returned to the free pool. *)
 let audit t ~repair =

@@ -31,7 +31,7 @@ val release : t -> grant -> unit
     same grant twice returns its resources exactly once. *)
 
 val audit : t -> repair:bool -> (string * string * string * bool) list
-(** Conservation audit in the shape {!Cachekernel.Instance.audit_extra}
+(** Conservation audit in the shape {!Cachekernel.Instance.add_audit_hook}
     expects: [(check, subject, detail, repaired)] tuples, [check] =
     ["ledger"].  Verifies free + granted page groups partition the
     governed set and that committed CPU/net percentages equal the sums

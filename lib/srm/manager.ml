@@ -76,7 +76,7 @@ let boot inst ?(own_groups = 2) () =
     in
     (* the invariant auditor reaches the SRM's ledger through this hook
        (the core library cannot depend on the srm layer directly) *)
-    inst.Instance.audit_extra <- Some (fun ~repair -> Ledger.audit t.ledger ~repair);
+    Instance.add_audit_hook inst (fun ~repair -> Ledger.audit t.ledger ~repair);
     inst.Instance.on_misbehaving <-
       (fun ~kernel ~thread ->
         t.misbehaving <- (kernel, thread) :: t.misbehaving;

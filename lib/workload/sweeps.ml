@@ -229,3 +229,111 @@ let skew_point ?config ?(capacity = 128) ?(hot = 96) ?(cold = 64) ?(passes = 8)
     skew_hit_rate = 1.0 -. (float_of_int faults /. float_of_int accesses);
     skew_us_per_access = elapsed /. float_of_int accesses;
   }
+
+(* -- TS: tiered-backing-store sweep -- *)
+
+type tier_point = {
+  ts_slots : int;
+  ts_placement : string;
+  ts_page_ins : int;
+  ts_page_outs : int;
+  ts_fast_hits : int;
+  ts_slow_hits : int;
+  ts_fast_share : float;  (** fraction of refaults served from the fast tier *)
+  ts_promotes : int;
+  ts_demotes : int;
+  ts_fast_mean_us : float;  (** mean fast-tier fault-service latency *)
+  ts_slow_mean_us : float;
+  ts_us_per_access : float;
+}
+
+(** Real paging against a bounded frame pool: [hot] pages are dirtied once
+    and then re-read every pass while [cold] fresh pages are dirtied per
+    pass and never touched again.  With only [frames] physical frames the
+    hot set refaults continuously — and because a clean eviction keeps its
+    backing block, every hot refault hits the *same* block, which is
+    exactly the re-reference signal the tiered store's placement
+    classifier feeds on.  Cold blocks are written once and never faulted
+    back, so all page-ins are hot-set faults: [ts_fast_share] is the
+    fraction of the hot working set served at RAM cost rather than disk
+    cost.  [slots = 0] measures the seed's flat store on the identical
+    access pattern. *)
+let tier_point ?config ?(slots = 64) ?(placement = Config.Tier_recency) ?(hot = 64)
+    ?(cold = 32) ?(passes = 6) ?(frames = 64) ?(prepare = fun _ -> ())
+    ?(finish = fun _ _ -> ()) () =
+  let config =
+    {
+      (Option.value config ~default:Config.default) with
+      Config.fast_tier_slots = slots;
+      tier_placement = placement;
+      (* a full pass of slow faults runs ~1 sim-second (12 ms per disk
+         page); the recency window must span a pass for "re-read every
+         pass" to register as hot *)
+      tier_hot_window_us = 4_000_000.0;
+    }
+  in
+  let inst = Setup.instance ~config ~cpus:1 () in
+  prepare inst;
+  let ak = Setup.first_kernel inst in
+  let mgr = ak.App_kernel.mgr in
+  let vsp = Setup.ok (Segment_mgr.create_space mgr) in
+  let pages = hot + (passes * cold) in
+  let seg = Segment_mgr.create_segment mgr ~name:"tiers" ~pages in
+  let base = 0x40000000 in
+  Segment_mgr.attach_region mgr vsp
+    (Region.v ~va_start:base ~pages ~segment:seg ~seg_offset:0 ());
+  (* bound the frame pool so the working set cannot stay resident: this
+     sweep exercises the paging path, not just mapping descriptors *)
+  let spare = Frame_alloc.available ak.App_kernel.frames - frames in
+  if spare > 0 then ignore (Frame_alloc.take ak.App_kernel.frames spare);
+  let body () =
+    for pass = 0 to passes - 1 do
+      for h = 0 to hot - 1 do
+        let va = base + (h * Hw.Addr.page_size) in
+        (* dirty the hot set once so it reaches backing store; read-only
+           after that, so evictions keep the block identity stable *)
+        if pass = 0 then Hw.Exec.mem_write va (h + 1) else ignore (Hw.Exec.mem_read va)
+      done;
+      for c = 0 to cold - 1 do
+        let p = hot + (pass * cold) + c in
+        Hw.Exec.mem_write (base + (p * Hw.Addr.page_size)) p
+      done
+    done
+  in
+  let t0 = Setup.now_us inst in
+  ignore
+    (Setup.ok
+       (Thread_lib.spawn ak.App_kernel.threads ~space_tag:vsp.Segment_mgr.tag ~priority:8
+          (Hw.Exec.unit_body body)));
+  ignore (Engine.run [| inst |]);
+  let elapsed = Setup.now_us inst -. t0 in
+  let store = ak.App_kernel.store in
+  let fast_hits = Backing_store.tier_fast_hits store in
+  let slow_hits = Backing_store.tier_slow_hits store in
+  let refaults = fast_hits + slow_hits in
+  let m = inst.Instance.metrics in
+  let mean_or_zero name =
+    if Metrics.observations m name = 0 then 0.0 else Metrics.mean m name
+  in
+  let r =
+    {
+      ts_slots = slots;
+      ts_placement = Config.tier_placement_name placement;
+      ts_page_ins = Backing_store.page_ins store;
+      ts_page_outs = Backing_store.page_outs store;
+      ts_fast_hits = fast_hits;
+      ts_slow_hits = slow_hits;
+      ts_fast_share =
+        (if refaults = 0 then 0.0 else float_of_int fast_hits /. float_of_int refaults);
+      ts_promotes = Backing_store.tier_promotes store;
+      ts_demotes = Backing_store.tier_demotes store;
+      ts_fast_mean_us = mean_or_zero "tier.service_fast_us";
+      ts_slow_mean_us = mean_or_zero "tier.service_slow_us";
+      ts_us_per_access = elapsed /. float_of_int (passes * (hot + cold));
+    }
+  in
+  (* [finish] sees the still-live instance after the record is built — the
+     checkpoint-pause benchmark uses it to snapshot tier residency and
+     then checkpoint the kernel without perturbing the sweep's counters *)
+  finish inst ak;
+  r

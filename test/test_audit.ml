@@ -247,6 +247,47 @@ let test_quota_corruption () =
       k.Kernel_obj.consumed.(0) <- -100);
   detect_repair_reaudit "negative quota consumption" inst ~check:"quota"
 
+(* -- tiered backing store: per-tier conservation through the audit hook -- *)
+
+(* Run a tiered paging workload and keep the instance and app kernel alive
+   so the store can be corrupted afterwards.  Tier_off with slots above the
+   working set keeps every paged-out image fast-resident, guaranteeing
+   there is an image for [corrupt_tier_for_test] to damage. *)
+let tier_run () =
+  let inst_r = ref None and ak_r = ref None in
+  ignore
+    (Workload.Sweeps.tier_point ~slots:64 ~placement:Config.Tier_off ~hot:24
+       ~cold:12 ~passes:2 ~frames:24
+       ~finish:(fun inst ak ->
+         inst_r := Some inst;
+         ak_r := Some ak)
+       ());
+  match (!inst_r, !ak_r) with
+  | Some inst, Some ak -> (inst, ak)
+  | _ -> Alcotest.fail "tier workload did not run"
+
+let seed_tier_corruption kind =
+  let inst, ak = tier_run () in
+  let store = ak.App_kernel.store in
+  check_clean "tier workload audits clean" (Audit.run inst);
+  Alcotest.(check bool) "fast tier populated" true
+    (Backing_store.fast_resident store > 0);
+  Alcotest.(check bool) "corruption seeded" true
+    (Backing_store.corrupt_tier_for_test store kind);
+  inst
+
+let test_tier_orphan_image () =
+  let inst = seed_tier_corruption `Orphan_image in
+  detect_repair_reaudit "orphaned fast image" inst ~check:"tier"
+
+let test_tier_missing_image () =
+  let inst = seed_tier_corruption `Missing_image in
+  detect_repair_reaudit "missing fast image" inst ~check:"tier"
+
+let test_tier_live_drift () =
+  let inst = seed_tier_corruption `Drift in
+  detect_repair_reaudit "fast_live drift" inst ~check:"tier"
+
 (* -- SRM ledger conservation, standalone and through the instance hook -- *)
 
 let test_ledger_audit () =
@@ -424,6 +465,12 @@ let () =
           Alcotest.test_case "detached mapping pte" `Quick test_detached_mapping_pte;
           Alcotest.test_case "stale TLB and RTLB" `Quick test_stale_tlb_and_rtlb;
           Alcotest.test_case "quota corruption" `Quick test_quota_corruption;
+        ] );
+      ( "tier",
+        [
+          Alcotest.test_case "orphaned fast image" `Quick test_tier_orphan_image;
+          Alcotest.test_case "missing fast image" `Quick test_tier_missing_image;
+          Alcotest.test_case "fast_live drift" `Quick test_tier_live_drift;
         ] );
       ( "ledger",
         [

@@ -28,14 +28,17 @@ let chaos_seed =
   | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 42)
   | None -> 42
 
-let chaos ?(io_fail = 0.0) ?(io_delay = 0.0) ?(signal_drop = 0.0) ?(signal_dup = 0.0)
-    ?(stale_rate = 0.0) ?(forward_drop = 0.0) ?crash_at_us () =
+let chaos ?(io_fail = 0.0) ?(io_delay = 0.0) ?(tier_fail = 0.0) ?(tier_delay = 0.0)
+    ?(signal_drop = 0.0) ?(signal_dup = 0.0) ?(stale_rate = 0.0) ?(forward_drop = 0.0)
+    ?crash_at_us () =
   Some
     {
       Config.chaos_default with
       Config.chaos_seed;
       io_fail;
       io_delay;
+      tier_fail;
+      tier_delay;
       signal_drop;
       signal_dup;
       stale_rate;
@@ -274,6 +277,105 @@ let test_counter_balance () =
         (counter inst ("recover." ^ site)))
     balanced
 
+(* -- tier-migration fault sites --
+
+   The tiered backing store's promotion/demotion path runs through its own
+   chaos sites ([tier.promote.*], [tier.demote.*]) with the same
+   retry-with-backoff recovery protocol as block I/O.  A fast tier smaller
+   than the hot set under [Tier_recency] placement maximizes migration
+   traffic: first-sight page-outs go slow, every refault promotes, and
+   capacity pressure demotes the sequentially-flooded LRU tail
+   continuously. *)
+
+let tier_run ?(tier_fail = 0.0) ?(tier_delay = 0.0) ?(io_fail = 0.0) () =
+  let config =
+    { Config.default with Config.chaos = chaos ~io_fail ~tier_fail ~tier_delay () }
+  in
+  let inst_ref = ref None and ak_ref = ref None in
+  let pt =
+    Workload.Sweeps.tier_point ~config ~slots:16 ~placement:Config.Tier_recency ~hot:24
+      ~cold:12 ~passes:3 ~frames:24
+      ~prepare:(fun i ->
+        inst_ref := Some i;
+        Trace.enable i.Instance.trace)
+      ~finish:(fun _ ak -> ak_ref := Some ak)
+      ()
+  in
+  (pt, Option.get !inst_ref, Option.get !ak_ref)
+
+(* After recovery, exactly one valid copy of every writeback image: the
+   tier-conservation audit is clean and every block still holds the bytes
+   the workload paged out (hot page h was filled with h+1). *)
+let check_one_valid_copy (ak : App_kernel.t) =
+  let store = ak.App_kernel.store in
+  (match Backing_store.audit_tiers store ~repair:false with
+  | [] -> ()
+  | (_, subject, detail, _) :: _ ->
+    Alcotest.failf "tier conservation violated: %s: %s" subject detail);
+  Alcotest.(check bool) "fast tier within capacity" true
+    (Backing_store.fast_resident store <= 16)
+
+let tier_sites ~promote = if promote then "tier.promote" else "tier.demote"
+
+let run_tier_chaos ~tier_fail ~tier_delay ~expect_kind () =
+  let pt, inst, ak = tier_run ~tier_fail ~tier_delay () in
+  (* migration traffic actually flowed *)
+  Alcotest.(check bool) "promotions happened" true (pt.Workload.Sweeps.ts_promotes > 0);
+  Alcotest.(check bool) "demotions happened" true (pt.Workload.Sweeps.ts_demotes > 0);
+  let injected_total = ref 0 in
+  List.iter
+    (fun promote ->
+      let site = tier_sites ~promote in
+      List.iter
+        (fun kind ->
+          let s = site ^ "." ^ kind in
+          let i = counter inst ("inject." ^ s) in
+          injected_total := !injected_total + i;
+          Alcotest.(check int)
+            (Printf.sprintf "%s inject = recover" s)
+            i
+            (counter inst ("recover." ^ s));
+          if kind <> expect_kind then
+            Alcotest.(check int) (Printf.sprintf "%s never drawn" s) 0 i)
+        [ "fail"; "delay" ])
+    [ true; false ];
+  Alcotest.(check bool)
+    (Printf.sprintf "chaos injected %s somewhere" expect_kind)
+    true (!injected_total > 0);
+  check_one_valid_copy ak
+
+let test_tier_fail_recovery () = run_tier_chaos ~tier_fail:0.4 ~tier_delay:0.0 ~expect_kind:"fail" ()
+
+let test_tier_delay_recovery () =
+  run_tier_chaos ~tier_fail:0.0 ~tier_delay:0.4 ~expect_kind:"delay" ()
+
+(* Tier moves alongside injected block-I/O faults: the two planes compose
+   without losing an image. *)
+let test_tier_with_io_chaos () =
+  let _, inst, ak = tier_run ~tier_fail:0.3 ~tier_delay:0.2 ~io_fail:0.2 () in
+  List.iter
+    (fun site ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s inject = recover" site)
+        (counter inst ("inject." ^ site))
+        (counter inst ("recover." ^ site)))
+    [ "bstore.fail"; "tier.promote.fail"; "tier.promote.delay"; "tier.demote.fail";
+      "tier.demote.delay" ];
+  check_one_valid_copy ak
+
+(* Same seed, same injection plan: two tiered chaos runs produce identical
+   metrics and identical traces (Tier_move events included). *)
+let test_tier_deterministic_replay () =
+  let snap () =
+    let _, inst, _ = tier_run ~tier_fail:0.3 ~tier_delay:0.2 ~io_fail:0.1 () in
+    ( Json.to_string (Instance.metrics_json inst),
+      Json.to_string (Trace.to_json inst.Instance.trace) )
+  in
+  let m1, t1 = snap () in
+  let m2, t2 = snap () in
+  Alcotest.(check string) "tier metrics replay identically" m1 m2;
+  Alcotest.(check string) "tier trace replays identically" t1 t2
+
 (* -- Figure 2 under adversity -- *)
 
 (* The `ckos trace` demo: one thread demand-faulting four pages through the
@@ -486,6 +588,17 @@ let () =
       ( "replay",
         [ Alcotest.test_case "same seed, same run" `Quick test_deterministic_replay ] );
       ("balance", [ Alcotest.test_case "inject = recover" `Quick test_counter_balance ]);
+      ( "tier",
+        [
+          Alcotest.test_case "fail mid-promotion/demotion recovers" `Quick
+            test_tier_fail_recovery;
+          Alcotest.test_case "delay mid-promotion/demotion recovers" `Quick
+            test_tier_delay_recovery;
+          Alcotest.test_case "tier and block-I/O chaos compose" `Quick
+            test_tier_with_io_chaos;
+          Alcotest.test_case "tiered chaos replays deterministically" `Quick
+            test_tier_deterministic_replay;
+        ] );
       ( "fig2",
         [
           Alcotest.test_case "dropped forward" `Quick test_fig2_dropped_forward;
