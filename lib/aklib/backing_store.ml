@@ -197,13 +197,24 @@ let free_block t b =
   | None -> ()
   | Some tr ->
     (* block numbers recycle through the free list: drop any fast image and
-       metadata so a re-allocated block cannot serve stale bytes, and bump
-       the generation so in-flight moves that captured it are discarded *)
+       bump the generation so in-flight moves that captured it are
+       discarded.  The meta entry must survive the free — removing it would
+       restart the block's next life at generation 0, letting a move
+       captured under the previous life match again once the new tenant
+       reaches the same generation.  Keeping the entry makes generations
+       monotonic per block across recycles; the other fields reset to the
+       fresh-block defaults of [get_meta]. *)
     if Hashtbl.mem tr.fast b then begin
       Hashtbl.remove tr.fast b;
       tr.fast_live <- tr.fast_live - 1
     end;
-    Hashtbl.remove tr.meta b);
+    (match Hashtbl.find_opt tr.meta b with
+    | Some m ->
+      m.gen <- m.gen + 1;
+      m.tier <- Slow;
+      m.referenced <- false;
+      m.last_touch <- min_int / 2
+    | None -> ()));
   t.free_blocks <- b :: t.free_blocks
 
 (* -- tier metadata -- *)
@@ -234,6 +245,15 @@ let note_pfn_referenced t ~pfn ~referenced =
     (* OR across the frame's mappers: any referenced mapping makes it hot *)
     let prev = Option.value (Hashtbl.find_opt tr.ref_hint pfn) ~default:false in
     Hashtbl.replace tr.ref_hint pfn (prev || referenced)
+
+(* Hints are keyed by frame and only consumed at that frame's next
+   page-out, so a frame freed without one (clean eviction, teardown) must
+   shed its hint here or the frame's next tenant inherits the previous
+   tenant's referenced bit. *)
+let clear_pfn_hint t ~pfn =
+  match t.tiers with
+  | None -> ()
+  | Some tr -> Hashtbl.remove tr.ref_hint pfn
 
 (* Hot/cold verdict for a page-out image ([prev_touch] is the block's
    last transfer before this one). *)
@@ -340,7 +360,9 @@ let rec maybe_demote t tr =
       | x :: tl when n > 0 -> x :: take (n - 1) tl
       | _ -> []
     in
-    let victims = take tr.batch candidates in
+    (* drain exactly to capacity: a one-block overflow must not demote a
+       full batch and strand the fast tier below capacity *)
+    let victims = take (min tr.batch (tr.fast_live - tr.slots)) candidates in
     if victims <> [] then begin
       tr.demoting <- true;
       (* copy-then-delete: capture the images now, keep the fast copies
@@ -570,7 +592,11 @@ let audit_tiers t ~repair =
            let repaired =
              repair
              &&
+             (* removing the image shrinks the fast tier: keep the derived
+                count in step, or this repair manufactures a fast_live
+                drift for the same pass to flag *)
              (Hashtbl.remove tr.fast block;
+              tr.fast_live <- tr.fast_live - 1;
               true)
            in
            add (Fmt.str "block %d" block)
@@ -588,14 +614,15 @@ let audit_tiers t ~repair =
            add (Fmt.str "block %d" block)
              "designated fast but image missing (disk copy is authoritative)" repaired);
     let actual = Hashtbl.length tr.fast in
-    if tr.fast_live <> actual then begin
+    let live = tr.fast_live in
+    if live <> actual then begin
       let repaired =
         repair
         &&
         (tr.fast_live <- actual;
          true)
       in
-      add "fast_live" (Fmt.str "counter %d, recount %d" tr.fast_live actual) repaired
+      add "fast_live" (Fmt.str "counter %d, recount %d" live actual) repaired
     end;
     List.rev !acc
 

@@ -248,6 +248,10 @@ let evict_one t ~thread =
         match r.Segment.backing with
         | Some block -> Segment.set_state seg page (Segment.On_disk block)
         | None -> Segment.set_state seg page Segment.Zero);
+    (* the dirty path's page_out has already consumed the frame's
+       referenced hint (synchronously, at call time); a clean eviction
+       leaves it behind, and the frame's next tenant must not inherit it *)
+    Backing_store.clear_pfn_hint t.env.store ~pfn:r.Segment.pfn;
     Frame_alloc.free t.env.frames r.Segment.pfn;
     Some r.Segment.pfn
 
@@ -697,6 +701,7 @@ let handle_mapping_writeback t ~space_tag (state : Wb.mapping_state) =
         drop_mapper r;
         match r.Segment.cow_pending with
         | Some (pseg, ppage) when not state.Wb.modified ->
+          Backing_store.clear_pfn_hint t.env.store ~pfn:r.Segment.pfn;
           Frame_alloc.free t.env.frames r.Segment.pfn;
           Segment.set_state seg page (Segment.Cow_of (pseg, ppage));
           (match Segment.state pseg ppage with

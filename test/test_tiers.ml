@@ -422,6 +422,104 @@ let test_checkpoint_flush () =
     blocks;
   Alcotest.(check int) "second flush is empty" 0 (Backing_store.checkpoint_flush store)
 
+(* A demotion captured under a block's previous life must not apply after
+   the block is freed and reallocated: the batch travels with the victim's
+   generation, and free bumps it.  Regression for a bug where free dropped
+   the meta entry instead, restarting the recycled block at generation 0 so
+   the stale batch matched and overwrote the new tenant's image. *)
+let test_free_realloc_generation () =
+  let env = make_env () in
+  let store = Backing_store.create ~disk:env.disk ~mem:env.mem in
+  Backing_store.configure_tiers store ~slots:1 ~placement:Config.Tier_off
+    ~hot_window_us:1_000_000.0 ~batch:1 ~events:env.events
+    ~now:(fun () -> !(env.now));
+  let image seed =
+    Bytes.init Hw.Addr.page_size (fun i -> Char.chr ((seed + (i * 7)) land 0xff))
+  in
+  fill_frame env ~pfn:0 1;
+  let b0 = ref (-1) in
+  Backing_store.page_out store ~pfn:0 (fun blk -> b0 := blk);
+  drain env;
+  (* overflow the one-slot tier; run just the page-out completion so the
+     demotion of [b0] is captured and scheduled but not yet applied *)
+  fill_frame env ~pfn:1 2;
+  Backing_store.page_out store ~pfn:1 (fun _ -> ());
+  env.now := Hw.Event_queue.run_next env.events;
+  (* recycle [b0] under the in-flight demotion and give it fresh bytes *)
+  Backing_store.free_block store !b0;
+  fill_frame env ~pfn:2 3;
+  let b0' = ref (-1) in
+  Backing_store.page_out store ~pfn:2 (fun blk -> b0' := blk);
+  drain env;
+  Alcotest.(check int) "free list recycled the block" !b0 !b0';
+  Alcotest.(check bool) "recycled block holds the new tenant's bytes" true
+    (Bytes.equal (image 3) (Backing_store.read_block_now store ~block:!b0));
+  Alcotest.(check bool) "audit clean" true
+    (Backing_store.audit_tiers store ~repair:false = [])
+
+(* A one-block overflow demotes one block, not a full batch: demotion
+   drains exactly to capacity so still-warm images are not evicted. *)
+let test_demotion_exact_drain () =
+  let env = make_env () in
+  let store = Backing_store.create ~disk:env.disk ~mem:env.mem in
+  Backing_store.configure_tiers store ~slots:4 ~placement:Config.Tier_off
+    ~hot_window_us:1_000_000.0 ~batch:8 ~events:env.events
+    ~now:(fun () -> !(env.now));
+  List.iter
+    (fun i ->
+      fill_frame env ~pfn:(i mod frames) (i * 53);
+      Backing_store.page_out store ~pfn:(i mod frames) (fun _ -> ());
+      drain env)
+    [ 0; 1; 2; 3; 4 ];
+  Alcotest.(check int) "one demotion for a one-block overflow" 1
+    (Backing_store.tier_demotes store);
+  Alcotest.(check int) "fast tier drained exactly to capacity" 4
+    (Backing_store.fast_resident store);
+  Alcotest.(check bool) "audit clean" true
+    (Backing_store.audit_tiers store ~repair:false = [])
+
+(* Repairing an orphaned fast image must not manufacture a fast_live drift
+   for the same pass to flag: one seeded corruption, one violation. *)
+let test_audit_orphan_single_violation () =
+  let env = make_env () in
+  let store = Backing_store.create ~disk:env.disk ~mem:env.mem in
+  Backing_store.configure_tiers store ~slots:4 ~placement:Config.Tier_off
+    ~hot_window_us:1_000_000.0 ~batch:2 ~events:env.events
+    ~now:(fun () -> !(env.now));
+  fill_frame env ~pfn:0 7;
+  Backing_store.page_out store ~pfn:0 (fun _ -> ());
+  drain env;
+  Alcotest.(check bool) "corruption seeded" true
+    (Backing_store.corrupt_tier_for_test store `Orphan_image);
+  Alcotest.(check int) "exactly one violation"
+    1
+    (List.length (Backing_store.audit_tiers store ~repair:true));
+  Alcotest.(check bool) "re-audit clean" true
+    (Backing_store.audit_tiers store ~repair:false = [])
+
+(* A cleared referenced hint must not leak into the frame's next tenant:
+   under Tier_referenced placement a page-out after [clear_pfn_hint] is
+   classified cold. *)
+let test_ref_hint_cleared_on_free () =
+  let env = make_env () in
+  let store = Backing_store.create ~disk:env.disk ~mem:env.mem in
+  Backing_store.configure_tiers store ~slots:4 ~placement:Config.Tier_referenced
+    ~hot_window_us:1_000_000.0 ~batch:2 ~events:env.events
+    ~now:(fun () -> !(env.now));
+  Backing_store.note_pfn_referenced store ~pfn:0 ~referenced:true;
+  Backing_store.clear_pfn_hint store ~pfn:0;
+  fill_frame env ~pfn:0 11;
+  Backing_store.page_out store ~pfn:0 (fun _ -> ());
+  drain env;
+  Alcotest.(check int) "stale hint did not admit the image" 0
+    (Backing_store.fast_resident store);
+  (* an intact hint still does *)
+  Backing_store.note_pfn_referenced store ~pfn:0 ~referenced:true;
+  Backing_store.page_out store ~pfn:0 (fun _ -> ());
+  drain env;
+  Alcotest.(check int) "live hint admits the image" 1
+    (Backing_store.fast_resident store)
+
 let test_read_block_now_fast () =
   let env = make_env () in
   let store = Backing_store.create ~disk:env.disk ~mem:env.mem in
@@ -459,6 +557,14 @@ let () =
       ( "units",
         [
           Alcotest.test_case "demotion batching" `Quick test_demotion_batching;
+          Alcotest.test_case "demotion drains exactly to capacity" `Quick
+            test_demotion_exact_drain;
+          Alcotest.test_case "freed block generations survive recycling" `Quick
+            test_free_realloc_generation;
+          Alcotest.test_case "orphan repair is a single violation" `Quick
+            test_audit_orphan_single_violation;
+          Alcotest.test_case "cleared referenced hint stays cleared" `Quick
+            test_ref_hint_cleared_on_free;
           Alcotest.test_case "checkpoint flush" `Quick test_checkpoint_flush;
           Alcotest.test_case "read_block_now prefers fast tier" `Quick
             test_read_block_now_fast;
