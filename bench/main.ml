@@ -1151,6 +1151,142 @@ let tiers_suite ~quick =
   Printf.printf "\n  merged tier_sweep into BENCH_metrics.json\n";
   if failed then exit 1
 
+(* -- FO: failover sweep (ISSUE PR 8) ------------------------------------- *)
+
+(* MTTR decomposition vs cluster size: a loaded victim is hard-killed at a
+   known instant; the surviving nodes' quorum-gated two-phase detector
+   confirms the death, the recovery leader restarts the victim from its
+   writeback images under the fenced epoch, and the new incarnation
+   services work again.  Per point:
+
+     detect  us  crash -> first [Node_dead] on a surviving node
+     adopt   us  crash -> [Node_restart] on the victim (images reloaded)
+     service us  crash -> first [Thread_dispatched] on the restarted victim
+     loss        runnable victim threads not restored across the crash
+
+   Gate (exit nonzero): at the largest swept size the death must be
+   confirmed within 2x the suspect timeout (the detector's design
+   envelope: suspicion at one timeout of silence, confirmation at two,
+   minus the silence already accrued before the crash), and the victim
+   must be running again by the end of the window. *)
+
+let failover_point ~heartbeat ~suspect ~load ~window_us n =
+  let config =
+    {
+      Config.default with
+      Config.heartbeat_interval_us = heartbeat;
+      suspect_timeout_us = suspect;
+    }
+  in
+  let c = Workload.Cluster.create ~config ~n () in
+  let victim = n - 1 in
+  let vinst = Workload.Cluster.inst c victim in
+  let witness = Workload.Cluster.inst c 0 in
+  Trace.enable witness.Instance.trace;
+  Trace.enable vinst.Instance.trace;
+  ignore (Workload.Cluster.spawn_load c victim load);
+  let boot_us = Hw.Cost.us_of_cycles (Workload.Cluster.live_now c) in
+  (* warm up past the detectors' first-sight grace window *)
+  Workload.Cluster.run ~until_us:(boot_us +. (3.0 *. suspect)) c;
+  let crash_cyc = Workload.Cluster.live_now c in
+  let crash_us = Hw.Cost.us_of_cycles crash_cyc in
+  let before = Scheduler.length vinst.Instance.sched in
+  Workload.Cluster.crash c victim;
+  Workload.Cluster.run ~until_us:(crash_us +. window_us) c;
+  let first_after ?(floor = crash_cyc) trace pred =
+    Trace.fold trace
+      (fun acc (e : Trace.entry) ->
+        if e.Trace.time > floor && pred e.Trace.event then
+          match acc with Some t when t <= e.Trace.time -> acc | _ -> Some e.Trace.time
+        else acc)
+      None
+  in
+  let detect_cyc =
+    first_after witness.Instance.trace (function
+      | Trace.Node_dead { node; _ } -> node = victim
+      | _ -> false)
+  in
+  let restart_cyc =
+    first_after vinst.Instance.trace (function
+      | Trace.Node_restart { node; _ } -> node = victim
+      | _ -> false)
+  in
+  let service_cyc =
+    match restart_cyc with
+    | None -> None
+    | Some r ->
+      first_after ~floor:r vinst.Instance.trace (function
+        | Trace.Thread_dispatched _ -> true
+        | _ -> false)
+  in
+  let rel = Option.map (fun t -> Hw.Cost.us_of_cycles t -. crash_us) in
+  let after = Scheduler.length vinst.Instance.sched in
+  ( n,
+    rel detect_cyc,
+    rel restart_cyc,
+    rel service_cyc,
+    max 0 (before - after),
+    not vinst.Instance.halted )
+
+let failover_suite ~quick =
+  section
+    (Printf.sprintf "FO. Failover: MTTR and work loss vs cluster size%s"
+       (if quick then " (quick)" else ""));
+  let heartbeat = 200.0 and suspect = 1_000.0 in
+  let load = if quick then 3 else 6 in
+  let window_us = 12_000.0 in
+  let sizes = [ 4; 8; 16; 32 ] in
+  Printf.printf "  heartbeat %.0f us, suspect timeout %.0f us, victim load %d threads\n"
+    heartbeat suspect load;
+  Printf.printf "  %5s %10s %10s %10s %6s %5s\n" "nodes" "detect us" "adopt us"
+    "service us" "loss" "up";
+  let rows = ref [] in
+  let points =
+    List.map (fun n -> failover_point ~heartbeat ~suspect ~load ~window_us n) sizes
+  in
+  List.iter
+    (fun (n, detect, adopt, service, loss, up) ->
+      let f = function Some v -> Printf.sprintf "%10.1f" v | None -> "         -" in
+      Printf.printf "  %5d %s %s %s %6d %5s\n" n (f detect) (f adopt) (f service) loss
+        (if up then "yes" else "NO");
+      rows :=
+        Json.Obj
+          [
+            ("nodes", Json.Int n);
+            ("detect_us", match detect with Some v -> Json.Float v | None -> Json.Null);
+            ("adopt_us", match adopt with Some v -> Json.Float v | None -> Json.Null);
+            ("service_us", match service with Some v -> Json.Float v | None -> Json.Null);
+            ("inflight_loss", Json.Int loss);
+            ("recovered", Json.Bool up);
+          ]
+        :: !rows)
+    points;
+  let budget = 2.0 *. suspect in
+  let n_max, detect_max, _, _, _, up_max = List.nth points (List.length points - 1) in
+  let detect_gate =
+    match detect_max with Some v -> v > budget | None -> true
+  in
+  let recover_gate = not up_max in
+  Printf.printf "\n  detection at %d nodes: %s us (budget %.0f = 2x suspect timeout)%s\n"
+    n_max
+    (match detect_max with Some v -> Printf.sprintf "%.1f" v | None -> "none")
+    budget
+    (if detect_gate then "  ** GATE FAILED **" else "");
+  if recover_gate then
+    Printf.printf "  victim did not recover at %d nodes  ** GATE FAILED **\n" n_max;
+  merge_into_bench_metrics "failover_sweep"
+    (Json.Obj
+       [
+         ("quick", Json.Bool quick);
+         ("heartbeat_us", Json.Float heartbeat);
+         ("suspect_timeout_us", Json.Float suspect);
+         ("detect_budget_us", Json.Float budget);
+         ("points", Json.List (List.rev !rows));
+         ("gate_failed", Json.Bool (detect_gate || recover_gate));
+       ]);
+  Printf.printf "  merged failover_sweep into BENCH_metrics.json\n";
+  if detect_gate || recover_gate then exit 1
+
 let full_suite () =
   Printf.printf "Cache Kernel reproduction benchmarks (OSDI '94)\n";
   Printf.printf "simulated machine: 25 MHz MPM CPUs; times in simulated microseconds\n";
@@ -1178,4 +1314,5 @@ let () =
   if List.mem "--wallclock" args then wallclock_suite ~quick
   else if List.mem "--policy" args then policy_suite ~quick
   else if List.mem "--tiers" args then tiers_suite ~quick
+  else if List.mem "--failover" args then failover_suite ~quick
   else full_suite ()

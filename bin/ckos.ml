@@ -56,15 +56,20 @@ let export_observability inst ~metrics_out ~trace_out =
 let chaos_sites =
   [ "bstore.fail"; "bstore.delay"; "tier.promote.fail"; "tier.promote.delay";
     "tier.demote.fail"; "tier.demote.delay"; "signal.drop"; "signal.dup";
-    "stale.load"; "fault.forward"; "node.crash"; "migrate.drop" ]
+    "stale.load"; "fault.forward"; "node.crash"; "migrate.drop";
+    "net.partition"; "net.heal" ]
 
-let chaos_config ~rate ~seed =
-  if rate <= 0.0 then None
+let chaos_config ~rate ~seed ?partition_at ?(partition_for = 2_000.0)
+    ?(partition_minority = 1) () =
+  if rate <= 0.0 && partition_at = None then None
   else
     Some
       {
         Config.chaos_default with
         Config.chaos_seed = seed;
+        partition_at_us = partition_at;
+        partition_for_us = partition_for;
+        partition_minority;
         io_fail = rate;
         io_delay = rate /. 2.;
         tier_fail = rate;
@@ -139,8 +144,8 @@ let boot_and_run ?pause_us ~config ~cpus ~procs ~tracing () =
   ignore (Engine.run ?until_us:pause_us [| inst |]);
   (inst, emu)
 
-let run_workload cpus procs chaos chaos_seed prefetch batch policy tiers placement audit
-    audit_out metrics_out trace_out =
+let run_workload cpus procs chaos chaos_seed partition_at partition_for partition_minority
+    prefetch batch policy tiers placement audit audit_out metrics_out trace_out =
   if prefetch < 0 || batch < 1 then begin
     Fmt.epr "ckos: --prefetch must be >= 0 and --batch >= 1@.";
     Stdlib.exit 1
@@ -153,7 +158,9 @@ let run_workload cpus procs chaos chaos_seed prefetch batch policy tiers placeme
     Config.with_policy
       {
         Config.default with
-        Config.chaos = chaos_config ~rate:chaos ~seed:chaos_seed;
+        Config.chaos =
+          chaos_config ~rate:chaos ~seed:chaos_seed ?partition_at
+            ~partition_for ~partition_minority ();
         fault_prefetch = prefetch;
         mapping_batch_max = batch;
         fast_tier_slots = tiers;
@@ -389,6 +396,32 @@ let placement_arg =
            $(b,referenced) (admit iff the evicted frame's referenced/aged \
            bits were set) or $(b,off) (admit everything, pure LRU demotion).")
 
+(* Partition-plan flags, shared by `run` and `audit`: consumed by the
+   SRM's distributed layer (the lowest-id node arms the plan) when the
+   workload is multi-node; a single-node run just carries them along. *)
+let partition_at_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "partition-at" ] ~docv:"US"
+        ~doc:
+          "Sever the interconnect at the given simulated microsecond \
+           (deterministic $(b,net.partition) chaos site).")
+
+let partition_for_arg =
+  Arg.(
+    value
+    & opt float 2_000.0
+    & info [ "partition-for" ] ~docv:"US"
+        ~doc:"Partition duration before the $(b,net.heal) fires.")
+
+let partition_minority_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "partition-minority" ] ~docv:"N"
+        ~doc:"How many non-zero nodes the cut isolates.")
+
 let run_term =
   let cpus = Arg.(value & opt int 4 & info [ "cpus" ] ~doc:"CPUs per MPM.") in
   let procs = Arg.(value & opt int 4 & info [ "procs" ] ~doc:"Processes to run.") in
@@ -408,7 +441,8 @@ let run_term =
       & info [ "chaos-seed" ] ~docv:"N" ~doc:"Seed for the fault-injection PRNG streams.")
   in
   Term.(
-    const run_workload $ cpus $ procs $ chaos $ chaos_seed $ prefetch_arg $ batch_arg
+    const run_workload $ cpus $ procs $ chaos $ chaos_seed $ partition_at_arg
+    $ partition_for_arg $ partition_minority_arg $ prefetch_arg $ batch_arg
     $ policy_arg $ tiers_arg $ placement_arg $ audit_flag $ audit_out $ metrics_out
     $ trace_out)
 
@@ -433,11 +467,12 @@ let audit_term =
   in
   Term.(
     const
-      (fun cpus procs chaos seed prefetch batch policy tiers placement audit_out
-           metrics_out trace_out ->
-        run_workload cpus procs chaos seed prefetch batch policy tiers placement true
-          audit_out metrics_out trace_out)
-    $ cpus $ procs $ chaos $ chaos_seed $ prefetch_arg $ batch_arg $ policy_arg
+      (fun cpus procs chaos seed partition_at partition_for partition_minority prefetch
+           batch policy tiers placement audit_out metrics_out trace_out ->
+        run_workload cpus procs chaos seed partition_at partition_for partition_minority
+          prefetch batch policy tiers placement true audit_out metrics_out trace_out)
+    $ cpus $ procs $ chaos $ chaos_seed $ partition_at_arg $ partition_for_arg
+    $ partition_minority_arg $ prefetch_arg $ batch_arg $ policy_arg
     $ tiers_arg $ placement_arg $ audit_out $ metrics_out $ trace_out)
 
 let audit_cmd =

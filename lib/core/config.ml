@@ -32,6 +32,12 @@ type chaos = {
   tier_fail : float; (* a tier promotion/demotion transfer fails (retried) *)
   tier_delay : float; (* a tier promotion/demotion is delayed by [io_delay_us] *)
   crash_at_us : float option; (* halt the whole MPM at this simulated time *)
+  partition_at_us : float option;
+      (* sever the interconnect into two groups at this simulated time;
+         which nodes land in the minority side is drawn from the
+         [net.partition] chaos stream, so equal seeds partition equal sets *)
+  partition_for_us : float; (* partition duration before the [net.heal] *)
+  partition_minority : int; (* how many non-zero nodes the cut isolates *)
 }
 
 let chaos_default =
@@ -51,6 +57,9 @@ let chaos_default =
     tier_fail = 0.0;
     tier_delay = 0.0;
     crash_at_us = None;
+    partition_at_us = None;
+    partition_for_us = 2_000.0;
+    partition_minority = 1;
   }
 
 (* Hot/cold placement classifier for the tiered backing store.  A page-out
@@ -139,6 +148,18 @@ type t = {
   balance_hysteresis : int;
       (* runnable-thread spread tolerated before the most-loaded node
          migrates work to the least-loaded one *)
+  (* failure detection & autonomous failover *)
+  heartbeat_interval_us : float;
+      (* SRM heartbeat period: each node broadcasts an epoch-stamped
+         heartbeat (piggybacking its load report) and checks peers for
+         silence; 0 disables the failure detector entirely *)
+  suspect_timeout_us : float;
+      (* a peer silent this long is Suspect; silent for twice this long it
+         is declared Dead (quorum permitting), fenced, and failed over *)
+  load_report_stale_us : float;
+      (* balancing ignores load reports older than this window, so a dead
+         or silent node cannot remain a migration target; 0 keeps reports
+         forever (the pre-detector behavior) *)
   (* replacement policies (per cache type; see {!Policy}) *)
   kernel_policy : Policy.choice;
   space_policy : Policy.choice;
@@ -196,6 +217,9 @@ let default =
     migrate_max_retries = 6;
     balance_interval_us = 0.0;
     balance_hysteresis = 2;
+    heartbeat_interval_us = 0.0;
+    suspect_timeout_us = 1_000.0;
+    load_report_stale_us = 1_000_000.0;
     kernel_policy = Policy.Fixed Policy.Clock;
     space_policy = Policy.Fixed Policy.Clock;
     thread_policy = Policy.Fixed Policy.Clock;

@@ -28,6 +28,7 @@ type t = {
   streams : (string, int64 ref) Hashtbl.t; (* per-site splitmix64 state *)
   pending : (string, unit) Hashtbl.t; (* sites whose last decision injected *)
   mutable crash_armed : bool; (* one-shot latch for the scheduled node crash *)
+  mutable partition_armed : bool; (* one-shot latch for the scheduled partition *)
   mutable on_inject : string -> unit;
   mutable on_recover : string -> unit;
 }
@@ -38,6 +39,7 @@ let create chaos =
     streams = Hashtbl.create 8;
     pending = Hashtbl.create 8;
     crash_armed = chaos <> None;
+    partition_armed = chaos <> None;
     on_inject = ignore;
     on_recover = ignore;
   }
@@ -196,4 +198,39 @@ let take_crash_at_us t =
   | Some { Config.crash_at_us = Some us; _ } when t.crash_armed ->
     t.crash_armed <- false;
     Some us
+  | _ -> None
+
+(* -- network partition (sites [net.partition] / [net.heal]) -- *)
+
+(** One-shot seeded partition plan: the sever time, the heal time, and the
+    minority node ids, drawn from the [net.partition] stream so equal seeds
+    cut equal sets.  [nodes] is the cluster's node-id list; node with the
+    lowest id (the conventional chaos armer) is never placed in the
+    minority, so the majority side always retains a recovery leader.
+    Returns [None] when no partition is configured or the latch has already
+    been taken — restart logic cannot re-trigger the cut. *)
+let take_partition_plan t ~nodes =
+  match t.chaos with
+  | Some ({ Config.partition_at_us = Some at; _ } as c) when t.partition_armed ->
+    t.partition_armed <- false;
+    let sorted = List.sort_uniq compare nodes in
+    let eligible = match sorted with [] | [ _ ] -> [] | _ :: rest -> rest in
+    let want = min c.Config.partition_minority (List.length eligible) in
+    let minority = ref [] in
+    let pool = ref eligible in
+    for _ = 1 to want do
+      match !pool with
+      | [] -> ()
+      | pool_now ->
+        let n = List.length pool_now in
+        let idx =
+          int_of_float (draw t ~site:"net.partition" c.Config.chaos_seed *. float_of_int n)
+        in
+        let idx = if idx >= n then n - 1 else idx in
+        let pick = List.nth pool_now idx in
+        minority := pick :: !minority;
+        pool := List.filter (fun x -> x <> pick) pool_now
+    done;
+    if !minority = [] then None
+    else Some (at, at +. c.Config.partition_for_us, List.rev !minority)
   | _ -> None

@@ -64,3 +64,10 @@ val redeliver_backoff_us : t -> float
 val take_crash_at_us : t -> float option
 (** One-shot: the simulated time (us) at which to crash the MPM, if
     configured and not yet taken. *)
+
+val take_partition_plan : t -> nodes:int list -> (float * float * int list) option
+(** One-shot seeded plan for the [net.partition] / [net.heal] sites:
+    [(sever_us, heal_us, minority)] where [minority] is drawn from the
+    [net.partition] stream over [nodes] (the lowest node id is never in
+    the minority, keeping a recovery leader in the majority).  [None] when
+    no partition is configured or the latch was already taken. *)

@@ -51,6 +51,7 @@ type t = {
          Kernel call; None when the call comes from outside the engine *)
   mutable quota_epoch_start : Hw.Cost.cycles;
   mutable halted : bool; (* MPM hardware failure: fault containment *)
+  mutable crashed_at_us : float; (* simulated time of the last crash *)
   device_hooks : (int, int -> unit) Hashtbl.t;
       (* physical page -> callback(offset): Cache Kernel device drivers
          observing message-mode writes to device regions (section 2.2) *)
@@ -103,6 +104,7 @@ let crash t =
   if not t.halted then begin
     Fault_inject.inject t.fi ~site:"node.crash";
     t.halted <- true;
+    t.crashed_at_us <- Hw.Cost.us_of_cycles (Hw.Mpm.now t.node);
     Array.fill t.running 0 (Array.length t.running) None;
     t.current_thread <- None;
     let ths =
@@ -177,6 +179,7 @@ let create ?(config = Config.default) node =
       current_thread = None;
       quota_epoch_start = 0;
       halted = false;
+      crashed_at_us = 0.0;
       device_hooks = Hashtbl.create 8;
       storm_window_start = 0;
       storm_displacements = 0;

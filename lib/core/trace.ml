@@ -42,6 +42,12 @@ type event =
   | Migrate_forwarded of { xfer : int; va : int }
   | Checkpointed of { restore : bool; bytes : int }
   | Tier_move of { block : int; to_fast : bool; batch : int }
+  | Node_suspect of { node : int }
+  | Node_dead of { node : int; epoch : int }
+  | Node_restart of { node : int; epoch : int }
+  | Fence_reject of { src : int; epoch : int }
+  | Net_partition of { healed : bool }
+  | Migrate_readopt of { xfer : int }
   | Custom of string
 
 let pp_event ppf = function
@@ -97,6 +103,14 @@ let pp_event ppf = function
     Fmt.pf ppf "tier-move block=%d -> %s (batch %d)" block
       (if to_fast then "fast" else "slow")
       batch
+  | Node_suspect { node } -> Fmt.pf ppf "node%d suspect" node
+  | Node_dead { node; epoch } -> Fmt.pf ppf "node%d dead (fenced at epoch %d)" node epoch
+  | Node_restart { node; epoch } -> Fmt.pf ppf "node%d restarted (epoch %d)" node epoch
+  | Fence_reject { src; epoch } ->
+    Fmt.pf ppf "fence-reject frame from node%d (stale epoch %d)" src epoch
+  | Net_partition { healed } ->
+    Fmt.pf ppf "net %s" (if healed then "healed" else "partitioned")
+  | Migrate_readopt { xfer } -> Fmt.pf ppf "migrate-readopt xfer=%d" xfer
   | Custom s -> Fmt.string ppf s
 
 let event_name = function
@@ -129,6 +143,12 @@ let event_name = function
   | Migrate_forwarded _ -> "migrate_forwarded"
   | Checkpointed _ -> "checkpointed"
   | Tier_move _ -> "tier_move"
+  | Node_suspect _ -> "node_suspect"
+  | Node_dead _ -> "node_dead"
+  | Node_restart _ -> "node_restart"
+  | Fence_reject _ -> "fence_reject"
+  | Net_partition _ -> "net_partition"
+  | Migrate_readopt _ -> "migrate_readopt"
   | Custom _ -> "custom"
 
 let event_fields ev =
@@ -176,6 +196,12 @@ let event_fields ev =
     [ ("restore", Json.Bool restore); ("bytes", Json.Int bytes) ]
   | Tier_move { block; to_fast; batch } ->
     [ ("block", Json.Int block); ("to_fast", Json.Bool to_fast); ("batch", Json.Int batch) ]
+  | Node_suspect { node } -> [ ("node", Json.Int node) ]
+  | Node_dead { node; epoch } -> [ ("node", Json.Int node); ("epoch", Json.Int epoch) ]
+  | Node_restart { node; epoch } -> [ ("node", Json.Int node); ("epoch", Json.Int epoch) ]
+  | Fence_reject { src; epoch } -> [ ("src", Json.Int src); ("epoch", Json.Int epoch) ]
+  | Net_partition { healed } -> [ ("healed", Json.Bool healed) ]
+  | Migrate_readopt { xfer } -> [ ("xfer", Json.Int xfer) ]
   | Custom s -> [ ("text", Json.String s) ]
 
 type entry = { time : Hw.Cost.cycles; event : event }

@@ -36,6 +36,12 @@ type event =
   | Migrate_forwarded of { xfer : int; va : int }
   | Checkpointed of { restore : bool; bytes : int }
   | Tier_move of { block : int; to_fast : bool; batch : int }
+  | Node_suspect of { node : int }
+  | Node_dead of { node : int; epoch : int }
+  | Node_restart of { node : int; epoch : int }
+  | Fence_reject of { src : int; epoch : int }
+  | Net_partition of { healed : bool }
+  | Migrate_readopt of { xfer : int }
   | Custom of string
 
 val pp_event : event Fmt.t

@@ -14,6 +14,7 @@ type port = {
   now : unit -> Cost.cycles;
   at : time:Cost.cycles -> (unit -> unit) -> unit;
   mutable failed : bool;
+  mutable group : int;  (* partition group; cross-group frames are dropped *)
   mutable tx_free : Cost.cycles;  (* when this port's outbound link drains *)
 }
 
@@ -37,7 +38,7 @@ let create ?(kind = Fiber) () =
 
 (** Attach a node.  [deliver] runs on the destination node's event queue. *)
 let attach t ~node_id ~deliver ~now ~at =
-  let port = { node_id; deliver; now; at; failed = false; tx_free = 0 } in
+  let port = { node_id; deliver; now; at; failed = false; group = 0; tx_free = 0 } in
   t.ports <- port :: t.ports;
   port
 
@@ -54,6 +55,28 @@ let fail_node t node_id =
 let node_failed t node_id =
   match port t node_id with Some p -> p.failed | None -> false
 
+(** Restore a failed node's port (it rebooted): it receives again. *)
+let restore_node t node_id =
+  match port t node_id with
+  | Some p -> p.failed <- false
+  | None -> invalid_arg "Interconnect.restore_node: unknown node"
+
+(** Sever the interconnect: ports of nodes in [minority] land in their own
+    partition group; frames between groups are dropped at send time
+    (frames already on the wire still deliver).  Idempotent. *)
+let partition t ~minority =
+  List.iter
+    (fun p -> p.group <- (if List.mem p.node_id minority then 1 else 0))
+    t.ports
+
+(** Heal any partition: every port rejoins group 0.  Idempotent. *)
+let heal t = List.iter (fun p -> p.group <- 0) t.ports
+
+let partitioned t ~src ~dst =
+  match (port t src, port t dst) with
+  | Some sp, Some dp -> sp.group <> dp.group
+  | _ -> false
+
 let sent t = t.sent
 let dropped t = t.dropped
 
@@ -67,7 +90,8 @@ let dropped t = t.dropped
 let send t ~src ~dst ?(tag = 0) data =
   match (port t src, port t dst) with
   | Some sp, Some dp ->
-    if sp.failed || dp.failed then t.dropped <- t.dropped + 1
+    if sp.failed || dp.failed || sp.group <> dp.group then
+      t.dropped <- t.dropped + 1
     else begin
       t.sent <- t.sent + 1;
       let start = max (sp.now ()) sp.tx_free in

@@ -24,6 +24,18 @@ val attach :
 val fail_node : t -> int -> unit
 (** Halt a node: it stops receiving; other nodes are unaffected. *)
 
+val restore_node : t -> int -> unit
+(** Restore a failed node's port (it rebooted): it receives again. *)
+
+val partition : t -> minority:int list -> unit
+(** Sever the interconnect: nodes in [minority] form their own partition
+    group and frames between the groups are dropped at send time (frames
+    already on the wire still deliver).  Idempotent. *)
+
+val heal : t -> unit
+(** Heal any partition: every node rejoins one group.  Idempotent. *)
+
+val partitioned : t -> src:int -> dst:int -> bool
 val node_failed : t -> int -> bool
 val sent : t -> int
 val dropped : t -> int

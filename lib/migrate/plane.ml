@@ -32,7 +32,14 @@ type transport = {
   send_chunk : dst:int -> xfer:int -> seq:int -> total:int -> part:Bytes.t -> unit;
   send_ack : dst:int -> xfer:int -> ok:bool -> unit;
   send_signal : dst:int -> xfer:int -> tag:int -> va:int -> unit;
+  send_ctl : dst:int -> xfer:int -> op:int -> unit;
 }
+
+(* Control ops of the commit protocol (the [send_ctl] wire payload). *)
+let op_commit = 0 (* src -> dst: image acked, schedule the parked threads *)
+let op_commit_ack = 1 (* dst -> src: scheduled; the source may free the image *)
+let op_abort = 2 (* src -> dst: transfer re-adopted at the source, purge it *)
+let op_abort_ack = 3 (* dst -> src: purged (or never landed) *)
 
 (* In-process residue of a migrating thread: the part of the image the
    codec cannot carry.  The destination plane consumes it when the byte
@@ -49,8 +56,35 @@ type outgoing = {
   o_chunks : Bytes.t array;
   o_bytes : int; (* image size; sets the retransmit horizon *)
   o_started : float; (* us; pause-time measurement *)
+  o_tags : int list; (* source thread tags (registry residue keys) *)
+  o_epoch : int; (* sender epoch at capture time *)
   mutable o_acked : bool;
   mutable o_retries : int;
+}
+
+(* Acked transfers whose image the source retains until the destination
+   confirms it scheduled the parked threads: the commit state.  A crash of
+   either side during this window resolves by re-adoption from the
+   retained chunks — the image is freed only on [op_commit_ack]. *)
+type committing = {
+  c_dst : int;
+  c_chunks : Bytes.t array;
+  c_started : float;
+  c_tags : int list;
+  c_epoch : int;
+  mutable c_retries : int;
+}
+
+(* Destination-side record of an applied transfer.  Threads are adopted
+   but *parked* (not scheduled) until the source's commit arrives, so an
+   un-acked or un-committed copy never executes — the crash-atomicity
+   invariant is that at most one side ever schedules the object. *)
+type landing = {
+  l_src : int;
+  mutable l_epoch : int; (* source epoch of the applied image *)
+  l_threads : (int * int) list; (* (src tag, local id) *)
+  l_space_tags : int list;
+  mutable l_committed : bool;
 }
 
 type incoming = { i_src : int; i_total : int; i_parts : (int, Bytes.t) Hashtbl.t }
@@ -60,17 +94,30 @@ type t = {
   node_id : int;
   transport : transport;
   outgoing : (int, outgoing) Hashtbl.t; (* xfer -> in-flight send *)
+  committing : (int, committing) Hashtbl.t; (* xfer -> acked, not committed *)
   incoming : (int, incoming) Hashtbl.t; (* xfer -> reassembly *)
-  applied : (int, unit) Hashtbl.t; (* transfers already landed (dup re-ack) *)
+  landings : (int, landing) Hashtbl.t; (* transfers applied here *)
+  aborts : (int, int) Hashtbl.t; (* xfer -> dst: abort owed to the target *)
   forwards : (int, int * int) Hashtbl.t; (* local thread id -> (xfer, dst) *)
   landed : (int * int, int) Hashtbl.t; (* (xfer, src tag) -> local id *)
   pending : (int, (int * int) list ref) Hashtbl.t;
       (* signals that arrived before their thread: xfer -> (src tag, va) *)
+  mutable epoch_of : unit -> int; (* current node epoch (the SRM's) *)
+  mutable on_step : (string -> unit) option; (* crash-point sweep hook *)
   mutable next_xfer : int;
 }
 
 let inst t = t.ak.App_kernel.inst
 let now_us t = Hw.Cost.us_of_cycles (Hw.Mpm.now (inst t).Instance.node)
+let halted t = (inst t).Instance.halted
+
+(* Crash-point sweep support: the harness installs a hook that may crash
+   this node at a named protocol step.  Every call site checks [halted]
+   afterwards and abandons the rest of its handler, exactly as a real
+   crash would cut the code path short. *)
+let set_step_hook t f = t.on_step <- f
+let step t name = match t.on_step with None -> () | Some f -> f name
+let set_epoch_source t f = t.epoch_of <- f
 
 (* -- forwarding stub (source side) -------------------------------------- *)
 
@@ -94,11 +141,15 @@ let create ~ak ~node_id ~transport =
       node_id;
       transport;
       outgoing = Hashtbl.create 8;
+      committing = Hashtbl.create 8;
       incoming = Hashtbl.create 8;
-      applied = Hashtbl.create 8;
+      landings = Hashtbl.create 8;
+      aborts = Hashtbl.create 8;
       forwards = Hashtbl.create 8;
       landed = Hashtbl.create 8;
       pending = Hashtbl.create 8;
+      epoch_of = (fun () -> 1);
+      on_step = None;
       next_xfer = 0;
     }
   in
@@ -111,7 +162,7 @@ let fresh_xfer t =
   t.next_xfer <- t.next_xfer + 1;
   (t.node_id * 1_000_000) + t.next_xfer
 
-let in_flight t = Hashtbl.length t.outgoing > 0
+let in_flight t = Hashtbl.length t.outgoing > 0 || Hashtbl.length t.committing > 0
 
 (* -- image capture ------------------------------------------------------ *)
 
@@ -232,18 +283,29 @@ let send_chunks t ~dst ~xfer (chunks : Bytes.t array) =
   let i = inst t in
   Array.iteri
     (fun seq part ->
-      match Fault_inject.migrate_drop i.Instance.fi with
-      | Fault_inject.Inject ->
-        Fault_inject.inject i.Instance.fi ~site:"migrate.drop";
-        Instance.count i "migrate.chunks_dropped"
-      | Fault_inject.After_inject ->
-        Fault_inject.recover i.Instance.fi ~site:"migrate.drop";
-        Instance.count i "migrate.chunks_out";
-        t.transport.send_chunk ~dst ~xfer ~seq ~total:(Array.length chunks) ~part
-      | Fault_inject.Pass ->
-        Instance.count i "migrate.chunks_out";
-        t.transport.send_chunk ~dst ~xfer ~seq ~total:(Array.length chunks) ~part)
+      if not (halted t) then begin
+        (match Fault_inject.migrate_drop i.Instance.fi with
+        | Fault_inject.Inject ->
+          Fault_inject.inject i.Instance.fi ~site:"migrate.drop";
+          Instance.count i "migrate.chunks_dropped"
+        | Fault_inject.After_inject ->
+          Fault_inject.recover i.Instance.fi ~site:"migrate.drop";
+          Instance.count i "migrate.chunks_out";
+          t.transport.send_chunk ~dst ~xfer ~seq ~total:(Array.length chunks) ~part
+        | Fault_inject.Pass ->
+          Instance.count i "migrate.chunks_out";
+          t.transport.send_chunk ~dst ~xfer ~seq ~total:(Array.length chunks) ~part);
+        step t (Printf.sprintf "src.chunk.%d" seq)
+      end)
     chunks
+
+(* Forward cell: re-adoption needs [apply], defined with the destination
+   side below; the shipping watchdog needs re-adoption.  Tied at the
+   bottom of the module. *)
+let readopt_cell : (t -> xfer:int -> tags:int list -> Bytes.t array -> unit) ref =
+  ref (fun _ ~xfer:_ ~tags:_ _ -> ())
+
+let readopt t ~xfer ~tags chunks = !readopt_cell t ~xfer ~tags chunks
 
 let rec arm_watchdog t ~xfer =
   let i = inst t in
@@ -266,7 +328,14 @@ let rec arm_watchdog t ~xfer =
         | Some o ->
           if o.o_retries >= cfg.Config.migrate_max_retries then begin
             Hashtbl.remove t.outgoing xfer;
-            Instance.count i "migrate.abandoned"
+            Instance.count i "migrate.abandoned";
+            (* crash-atomicity: the unreachable target may still hold (or
+               later assemble) the shipped image — the retained chunks
+               become authoritative again here, and the target is owed an
+               abort so a resurrected copy cannot outlive this one *)
+            Hashtbl.replace t.aborts xfer o.o_dst;
+            t.transport.send_ctl ~dst:o.o_dst ~xfer ~op:op_abort;
+            readopt t ~xfer ~tags:o.o_tags o.o_chunks
           end
           else begin
             o.o_retries <- o.o_retries + 1;
@@ -275,23 +344,54 @@ let rec arm_watchdog t ~xfer =
             arm_watchdog t ~xfer
           end)
 
+(* Commit resend loop: a lost [op_commit] (or its ack) leaves the target
+   parked and the source retaining the image; resend with backoff until
+   either side's terminal message arrives.  On exhaustion the transfer
+   stays in [committing] — the failure detector's peer_dead/peer_rejoined
+   notifications resolve it. *)
+let rec arm_commit_watchdog t ~xfer =
+  let i = inst t in
+  let cfg = i.Instance.config in
+  match Hashtbl.find_opt t.committing xfer with
+  | None -> ()
+  | Some c ->
+    let delay_us = cfg.Config.migrate_retry_us *. float_of_int (1 lsl c.c_retries) in
+    Hw.Mpm.after i.Instance.node ~delay:(Hw.Cost.cycles_of_us delay_us) (fun () ->
+        match Hashtbl.find_opt t.committing xfer with
+        | None -> ()
+        | Some c ->
+          if c.c_retries >= cfg.Config.migrate_max_retries then
+            Instance.count i "migrate.commit_stalled"
+          else begin
+            c.c_retries <- c.c_retries + 1;
+            Instance.count i "migrate.commit_resends";
+            t.transport.send_ctl ~dst:c.c_dst ~xfer ~op:op_commit;
+            arm_commit_watchdog t ~xfer
+          end)
+
 let ship t ~dst ~xfer ~oid img =
   let i = inst t in
   let bytes = Codec.encode img in
   let chunks = split_chunks t bytes in
+  let tags = List.map (fun (th : Codec.thread_image) -> th.Codec.thread_tag) img.Codec.threads in
   Hashtbl.replace t.outgoing xfer
     {
       o_dst = dst;
       o_chunks = chunks;
       o_bytes = Bytes.length bytes;
       o_started = now_us t;
+      o_tags = tags;
+      o_epoch = t.epoch_of ();
       o_acked = false;
       o_retries = 0;
     };
   Metrics.incr ~by:(Bytes.length bytes) i.Instance.metrics "migrate.bytes_out";
   Instance.trace i (Trace.Migrate_out { oid; dst; xfer; bytes = Bytes.length bytes });
-  send_chunks t ~dst ~xfer chunks;
-  arm_watchdog t ~xfer
+  step t "src.capture";
+  if not (halted t) then begin
+    send_chunks t ~dst ~xfer chunks;
+    arm_watchdog t ~xfer
+  end
 
 (* -- thread migration --------------------------------------------------- *)
 
@@ -508,54 +608,133 @@ let deliver_local t ~local_id ~va =
     | Error _ -> Instance.count i "migrate.signals_dropped")
   | Some _ | None -> Instance.count i "migrate.signals_dropped"
 
-let apply t ~xfer (img : Codec.image) =
-  let i = inst t in
+(* Rebuild the image's spaces and adopt its threads *parked*: adopted into
+   the thread library but not scheduled, so the copy cannot execute until
+   the source's commit arrives.  The registry residue is read but not
+   consumed — it belongs to the source until the transfer reaches a
+   terminal state (commit-acked, or re-adopted at the source). *)
+let apply t ~xfer ~src ~epoch (img : Codec.image) =
   match build_spaces t.ak img.Codec.spaces with
   | Error e -> Error e
   | Ok vsps -> (
     match own_space_tag t.ak with
     | Error e -> Error e
     | Ok own ->
-      List.iter
-        (fun (th : Codec.thread_image) ->
-          let space_tag =
-            match th.Codec.space with
-            | Some idx -> (List.nth vsps idx).Segment_mgr.tag
-            | None -> own
-          in
-          let key = (th.Codec.xfer, th.Codec.thread_tag) in
-          let res = Hashtbl.find_opt registry key in
-          Hashtbl.remove registry key;
-          let saved = Option.bind res (fun r -> r.res_saved) in
-          let body = Option.bind res (fun r -> r.res_body) in
-          let id =
-            Thread_lib.adopt t.ak.App_kernel.threads ~space_tag ~priority:th.Codec.priority
-              ?affinity:th.Codec.affinity ~lock:th.Codec.locked ?saved ?body ()
-          in
-          Hashtbl.replace t.landed (xfer, th.Codec.thread_tag) id;
-          (match Thread_lib.schedule t.ak.App_kernel.threads id with
-          | Ok _ -> Instance.count i "migrate.adopted"
-          | Error _ -> Instance.count i "migrate.load_deferred");
-          (* deliver signals that beat the image here *)
-          match Hashtbl.find_opt t.pending xfer with
-          | None -> ()
-          | Some l ->
-            let mine, rest =
-              List.partition (fun (tag, _) -> tag = th.Codec.thread_tag) !l
+      let threads =
+        List.map
+          (fun (th : Codec.thread_image) ->
+            let space_tag =
+              match th.Codec.space with
+              | Some idx -> (List.nth vsps idx).Segment_mgr.tag
+              | None -> own
             in
-            l := rest;
-            List.iter (fun (_, va) -> deliver_local t ~local_id:id ~va) mine)
-        img.Codec.threads;
-      Ok ())
+            let res = Hashtbl.find_opt registry (th.Codec.xfer, th.Codec.thread_tag) in
+            let saved = Option.bind res (fun r -> r.res_saved) in
+            let body = Option.bind res (fun r -> r.res_body) in
+            let id =
+              Thread_lib.adopt t.ak.App_kernel.threads ~space_tag ~priority:th.Codec.priority
+                ?affinity:th.Codec.affinity ~lock:th.Codec.locked ?saved ?body ()
+            in
+            Hashtbl.replace t.landed (xfer, th.Codec.thread_tag) id;
+            (th.Codec.thread_tag, id))
+          img.Codec.threads
+      in
+      let landing =
+        {
+          l_src = src;
+          l_epoch = epoch;
+          l_threads = threads;
+          l_space_tags = List.map (fun (v : Segment_mgr.vspace) -> v.Segment_mgr.tag) vsps;
+          l_committed = false;
+        }
+      in
+      Hashtbl.replace t.landings xfer landing;
+      Ok landing)
+
+(* Schedule a landing's parked threads and deliver the signals that beat
+   the image here.  [counter] is bumped per thread successfully loaded. *)
+let schedule_landing t ~xfer (l : landing) ~counter =
+  let i = inst t in
+  l.l_committed <- true;
+  List.iter
+    (fun (_tag, id) ->
+      match Thread_lib.schedule t.ak.App_kernel.threads id with
+      | Ok _ -> Instance.count i counter
+      | Error _ -> Instance.count i "migrate.load_deferred")
+    l.l_threads;
+  match Hashtbl.find_opt t.pending xfer with
+  | None -> ()
+  | Some sigs ->
+    Hashtbl.remove t.pending xfer;
+    List.iter
+      (fun (tag, va) ->
+        match List.assoc_opt tag l.l_threads with
+        | Some id -> deliver_local t ~local_id:id ~va
+        | None -> Instance.count i "migrate.signals_dropped")
+      (List.rev !sigs)
+
+(* Destroy a landing: retire its threads (descheduling live ones), release
+   its spaces, and forget its routing state.  Registry residue is *not*
+   touched — it belongs to the source, which may still re-adopt from it. *)
+let purge_landing t ~xfer (l : landing) =
+  let i = inst t in
+  List.iter
+    (fun (tag, id) ->
+      (match Thread_lib.entry t.ak.App_kernel.threads id with
+      | Some { Thread_lib.run = Thread_lib.Loaded; _ } ->
+        ignore (Thread_lib.deschedule t.ak.App_kernel.threads id)
+      | _ -> ());
+      Thread_lib.retire t.ak.App_kernel.threads id;
+      Hashtbl.remove t.landed (xfer, tag))
+    l.l_threads;
+  List.iter
+    (fun stag ->
+      match Segment_mgr.space_by_tag t.ak.App_kernel.mgr stag with
+      | Some vsp -> release_space t vsp
+      | None -> ())
+    l.l_space_tags;
+  Hashtbl.remove t.landings xfer;
+  Hashtbl.remove t.pending xfer;
+  Instance.count i "migrate.purged"
+
+(* Re-adopt a retained image at the source: the transfer failed terminally
+   (apply error, retransmit exhaustion, target death), so the copy here is
+   authoritative again.  Forwarding stubs for its threads come down —
+   signals raised against the old ids reach the re-adopted copy through
+   the landing routing, not the wire. *)
+let readopt_impl t ~xfer ~tags chunks =
+  let i = inst t in
+  List.iter (fun tag -> Hashtbl.remove t.forwards tag) tags;
+  let buf = Buffer.create 4096 in
+  Array.iter (Buffer.add_bytes buf) chunks;
+  match Codec.decode (Buffer.to_bytes buf) with
+  | Error msg ->
+    Logs.warn (fun m -> m "migrate: re-adopt decode failed for xfer %d: %s" xfer msg);
+    Instance.count i "migrate.readopt_failed"
+  | Ok img -> (
+    match apply t ~xfer ~src:t.node_id ~epoch:(t.epoch_of ()) img with
+    | Error msg ->
+      Logs.warn (fun m -> m "migrate: re-adopt failed for xfer %d: %s" xfer msg);
+      Instance.count i "migrate.readopt_failed"
+    | Ok l ->
+      schedule_landing t ~xfer l ~counter:"migrate.readopt_loads";
+      List.iter (fun tag -> Hashtbl.remove registry (xfer, tag)) tags;
+      Instance.count i "migrate.readopted";
+      Instance.trace i (Trace.Migrate_readopt { xfer }))
+
+let () = readopt_cell := readopt_impl
 
 (* -- receive side ------------------------------------------------------- *)
 
-let recv_chunk t ~src ~xfer ~seq ~total ~part =
+let recv_chunk t ?(epoch = 1) ~src ~xfer ~seq ~total ~part () =
   let i = inst t in
-  if Hashtbl.mem t.applied xfer then
-    (* a retransmission crossed our ack: re-ack, idempotently *)
+  match Hashtbl.find_opt t.landings xfer with
+  | Some l ->
+    (* a retransmission crossed our ack — possibly from a restarted source
+       incarnation, whose image is byte-identical: the landing stands *)
+    if epoch > l.l_epoch then l.l_epoch <- epoch;
     t.transport.send_ack ~dst:src ~xfer ~ok:true
-  else begin
+  | None ->
     let inc =
       match Hashtbl.find_opt t.incoming xfer with
       | Some inc -> inc
@@ -566,16 +745,16 @@ let recv_chunk t ~src ~xfer ~seq ~total ~part =
     in
     if seq >= 0 && seq < inc.i_total && not (Hashtbl.mem inc.i_parts seq) then begin
       Hashtbl.replace inc.i_parts seq part;
-      Instance.count i "migrate.chunks_in"
+      Instance.count i "migrate.chunks_in";
+      step t (Printf.sprintf "dst.chunk.%d" seq)
     end;
-    if Hashtbl.length inc.i_parts = inc.i_total then begin
+    if (not (halted t)) && Hashtbl.length inc.i_parts = inc.i_total then begin
       let buf = Buffer.create 4096 in
       for s = 0 to inc.i_total - 1 do
         Buffer.add_bytes buf (Hashtbl.find inc.i_parts s)
       done;
       let bytes = Buffer.to_bytes buf in
       Hashtbl.remove t.incoming xfer;
-      Hashtbl.replace t.applied xfer ();
       Metrics.incr ~by:(Bytes.length bytes) i.Instance.metrics "migrate.bytes_in";
       Instance.trace i (Trace.Migrate_in { xfer; src; bytes = Bytes.length bytes });
       match Codec.decode bytes with
@@ -584,28 +763,98 @@ let recv_chunk t ~src ~xfer ~seq ~total ~part =
         Instance.count i "migrate.decode_errors";
         t.transport.send_ack ~dst:src ~xfer ~ok:false
       | Ok img -> (
-        match apply t ~xfer img with
-        | Ok () -> t.transport.send_ack ~dst:src ~xfer ~ok:true
+        match apply t ~xfer ~src ~epoch img with
+        | Ok _landing ->
+          step t "dst.applied";
+          if not (halted t) then t.transport.send_ack ~dst:src ~xfer ~ok:true
         | Error msg ->
           Logs.warn (fun m -> m "migrate: apply failed for xfer %d: %s" xfer msg);
           Instance.count i "migrate.apply_errors";
           t.transport.send_ack ~dst:src ~xfer ~ok:false)
     end
-  end
 
 let recv_ack t ~xfer ~ok =
   let i = inst t in
   match Hashtbl.find_opt t.outgoing xfer with
-  | None -> () (* duplicate ack *)
+  | None -> (
+    (* duplicate ack — or a late landing of a transfer already re-adopted
+       here: remind the target it owes us a purge *)
+    match Hashtbl.find_opt t.aborts xfer with
+    | Some dst -> t.transport.send_ctl ~dst ~xfer ~op:op_abort
+    | None -> ())
   | Some o ->
     o.o_acked <- true;
     Hashtbl.remove t.outgoing xfer;
     Instance.trace i (Trace.Migrate_acked { xfer; ok });
     if ok then begin
-      Instance.observe i "migrate.pause_us" (now_us t -. o.o_started);
-      Instance.count i "migrate.completed"
+      (* image applied and parked at the target: retain the chunks and
+         drive the commit handshake — only [op_commit_ack] frees them *)
+      Hashtbl.replace t.committing xfer
+        {
+          c_dst = o.o_dst;
+          c_chunks = o.o_chunks;
+          c_started = o.o_started;
+          c_tags = o.o_tags;
+          c_epoch = o.o_epoch;
+          c_retries = 0;
+        };
+      step t "src.acked";
+      if not (halted t) then begin
+        t.transport.send_ctl ~dst:o.o_dst ~xfer ~op:op_commit;
+        arm_commit_watchdog t ~xfer
+      end
     end
-    else Instance.count i "migrate.failed"
+    else begin
+      (* the target could not apply: the copy here is authoritative *)
+      Instance.count i "migrate.failed";
+      readopt t ~xfer ~tags:o.o_tags o.o_chunks
+    end
+
+(* Commit-protocol control frames. *)
+let recv_ctl t ~src ~xfer ~op =
+  let i = inst t in
+  if op = op_commit then begin
+    match Hashtbl.find_opt t.landings xfer with
+    | Some l when not l.l_committed ->
+      schedule_landing t ~xfer l ~counter:"migrate.adopted";
+      Instance.count i "migrate.committed";
+      step t "dst.committed";
+      if not (halted t) then t.transport.send_ctl ~dst:src ~xfer ~op:op_commit_ack
+    | Some _ -> t.transport.send_ctl ~dst:src ~xfer ~op:op_commit_ack
+    | None ->
+      (* we crashed after acking and the restart purged the parked copy:
+         tell the source its retained image is authoritative *)
+      t.transport.send_ctl ~dst:src ~xfer ~op:op_abort_ack
+  end
+  else if op = op_commit_ack then begin
+    match Hashtbl.find_opt t.committing xfer with
+    | None -> ()
+    | Some c ->
+      Hashtbl.remove t.committing xfer;
+      List.iter (fun tag -> Hashtbl.remove registry (xfer, tag)) c.c_tags;
+      Instance.observe i "migrate.pause_us" (now_us t -. c.c_started);
+      Instance.count i "migrate.completed";
+      step t "src.done"
+  end
+  else if op = op_abort then begin
+    (match Hashtbl.find_opt t.landings xfer with
+    | Some l -> purge_landing t ~xfer l
+    | None ->
+      Hashtbl.remove t.incoming xfer;
+      Hashtbl.remove t.pending xfer);
+    Instance.count i "migrate.aborts_in";
+    t.transport.send_ctl ~dst:src ~xfer ~op:op_abort_ack
+  end
+  else if op = op_abort_ack then begin
+    Hashtbl.remove t.aborts xfer;
+    match Hashtbl.find_opt t.committing xfer with
+    | None -> ()
+    | Some c ->
+      (* the target lost the parked copy before commit: the retained
+         image is authoritative again *)
+      Hashtbl.remove t.committing xfer;
+      readopt t ~xfer ~tags:c.c_tags c.c_chunks
+  end
 
 let recv_signal t ~xfer ~tag ~va =
   match Hashtbl.find_opt t.landed (xfer, tag) with
@@ -620,6 +869,90 @@ let recv_signal t ~xfer ~tag ~va =
         l
     in
     l := (tag, va) :: !l
+
+(* -- failure-detector notifications ------------------------------------- *)
+
+let sorted_bindings tbl pred =
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun x v acc -> if pred v then (x, v) :: acc else acc) tbl [])
+
+(* The failure detector confirmed [node] dead.  Transfers toward it cannot
+   complete: re-adopt every retained image shipped there — the paper's
+   recovery-from-writeback contract applied to in-flight migration — and
+   owe any future incarnation of the target an abort, so a copy
+   resurrected from its restart cannot outlive the one here. *)
+let peer_dead t ~node =
+  let i = inst t in
+  (* un-acked transfers: the destination held at most a *parked* landing
+     (it never saw a commit), which its restart purges — re-adopting here
+     cannot duplicate the threads *)
+  let gone_out = sorted_bindings t.outgoing (fun (o : outgoing) -> o.o_dst = node) in
+  List.iter
+    (fun (xfer, (o : outgoing)) ->
+      Hashtbl.remove t.outgoing xfer;
+      Hashtbl.replace t.aborts xfer node;
+      Instance.count i "migrate.peer_dead_recovered";
+      readopt t ~xfer ~tags:o.o_tags o.o_chunks)
+    gone_out;
+  (* committing transfers sit in the commit-uncertainty window: the
+     destination may have committed (the copy survives its restart via the
+     thread records) or still been parked (its restart purges it).  Only
+     the restarted peer can tell us which, by answering the re-sent commit
+     with commit-ack or abort-ack — so these wait for {!peer_rejoined}
+     instead of re-adopting, which could create a second live copy.  In
+     this model a dead node always restarts (its kernel state is a cache
+     over writeback images), so the wait terminates. *)
+  List.iter
+    (fun (_ : int * committing) -> Instance.count i "migrate.commit_pending_peer")
+    (sorted_bindings t.committing (fun (c : committing) -> c.c_dst = node))
+
+(* A confirmed-dead peer rejoined (restarted, with a bumped epoch):
+   re-deliver every protocol duty owed to the new incarnation. *)
+let peer_rejoined t ~node =
+  List.iter
+    (fun (xfer, dst) -> t.transport.send_ctl ~dst ~xfer ~op:op_abort)
+    (sorted_bindings t.aborts (fun dst -> dst = node));
+  List.iter
+    (fun (xfer, (_ : committing)) -> t.transport.send_ctl ~dst:node ~xfer ~op:op_commit)
+    (sorted_bindings t.committing (fun (c : committing) -> c.c_dst = node));
+  List.iter
+    (fun (xfer, (o : outgoing)) -> send_chunks t ~dst:node ~xfer o.o_chunks)
+    (sorted_bindings t.outgoing (fun (o : outgoing) -> o.o_dst = node))
+
+(* -- restart recovery (this node crashed and is coming back) ------------ *)
+
+(* Called *before* the manager reboots the node's kernels: un-committed
+   (parked) landings must not be resurrected by the reboot's
+   resume-threads pass — the source still holds the authoritative image
+   and will either re-commit (our purge makes the commit answer
+   [op_abort_ack], pushing re-adoption to the source) or has already
+   re-adopted.  Partial reassemblies died with the NIC buffers. *)
+let purge_uncommitted t =
+  List.iter
+    (fun (xfer, l) -> purge_landing t ~xfer l)
+    (sorted_bindings t.landings (fun (l : landing) -> not l.l_committed));
+  Hashtbl.reset t.incoming
+
+(* Called *after* the reboot: resume the source side of every in-flight
+   transfer under the node's new epoch — re-ship un-acked images, re-drive
+   pending commits, re-send owed aborts. *)
+let resume_transfers t =
+  let i = inst t in
+  List.iter
+    (fun (xfer, (o : outgoing)) ->
+      Instance.count i "migrate.retransmits";
+      send_chunks t ~dst:o.o_dst ~xfer o.o_chunks;
+      arm_watchdog t ~xfer)
+    (sorted_bindings t.outgoing (fun _ -> true));
+  List.iter
+    (fun (xfer, (c : committing)) ->
+      t.transport.send_ctl ~dst:c.c_dst ~xfer ~op:op_commit;
+      arm_commit_watchdog t ~xfer)
+    (sorted_bindings t.committing (fun _ -> true));
+  List.iter
+    (fun (xfer, dst) -> t.transport.send_ctl ~dst ~xfer ~op:op_abort)
+    (sorted_bindings t.aborts (fun _ -> true))
 
 (* -- balancing helper --------------------------------------------------- *)
 

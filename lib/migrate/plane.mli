@@ -21,7 +21,21 @@ type transport = {
   send_chunk : dst:int -> xfer:int -> seq:int -> total:int -> part:Bytes.t -> unit;
   send_ack : dst:int -> xfer:int -> ok:bool -> unit;
   send_signal : dst:int -> xfer:int -> tag:int -> va:int -> unit;
+  send_ctl : dst:int -> xfer:int -> op:int -> unit;
 }
+
+(** {2 Commit-protocol control ops} ([send_ctl] / {!recv_ctl} payloads).
+
+    An acked image is *parked* at the destination (adopted, not scheduled)
+    until the source's [op_commit] arrives; the source retains the encoded
+    image until [op_commit_ack].  A crash of either side at any protocol
+    step therefore leaves exactly one side holding an authoritative,
+    runnable copy: the source until commit, the destination after. *)
+
+val op_commit : int
+val op_commit_ack : int
+val op_abort : int
+val op_abort_ack : int
 
 type t
 
@@ -47,9 +61,51 @@ val forward_signal : t -> int -> va:int -> bool
 
 (** {1 Receive side — called by the transport owner} *)
 
-val recv_chunk : t -> src:int -> xfer:int -> seq:int -> total:int -> part:Bytes.t -> unit
+val recv_chunk :
+  t -> ?epoch:int -> src:int -> xfer:int -> seq:int -> total:int -> part:Bytes.t -> unit -> unit
+(** [epoch] is the sender's fencing epoch (stamped by the SRM's wire
+    layer); a retransmission from a restarted source incarnation carries a
+    higher one but a byte-identical image, so the landing stands. *)
+
 val recv_ack : t -> xfer:int -> ok:bool -> unit
 val recv_signal : t -> xfer:int -> tag:int -> va:int -> unit
+val recv_ctl : t -> src:int -> xfer:int -> op:int -> unit
+
+(** {1 Failure-detector integration} *)
+
+val peer_dead : t -> node:int -> unit
+(** [node] was confirmed dead.  Un-acked transfers re-adopt immediately
+    (the destination held at most a parked landing, which its restart
+    purges) and owe the next incarnation an abort; transfers in the
+    commit-uncertainty window wait for {!peer_rejoined} — only the
+    restarted peer knows whether the copy survived (commit-ack) or was
+    purged (abort-ack, and the source re-adopts then). *)
+
+val peer_rejoined : t -> node:int -> unit
+(** A confirmed-dead peer came back: re-deliver owed aborts, pending
+    commits, and un-acked images to the new incarnation. *)
+
+val purge_uncommitted : t -> unit
+(** Restart step 1, before the manager reboots this node's kernels: drop
+    parked (un-committed) landings and partial reassemblies so the reboot
+    cannot resurrect a copy the source still owns. *)
+
+val resume_transfers : t -> unit
+(** Restart step 2, after the reboot: re-ship un-acked images, re-drive
+    pending commits, re-send owed aborts — under the node's new epoch. *)
+
+(** {1 Crash-point sweep support} *)
+
+val set_step_hook : t -> (string -> unit) option -> unit
+(** Install a hook called at each named protocol step ([src.capture],
+    [src.chunk.N], [dst.chunk.N], [dst.applied], [src.acked],
+    [dst.committed], [src.done]).  The sweep harness crashes the node
+    inside the hook; every call site checks [halted] afterwards and cuts
+    the handler short, exactly as a real crash would. *)
+
+val set_epoch_source : t -> (unit -> int) -> unit
+(** Wire the SRM's current-epoch getter in; captured images record the
+    epoch they shipped under. *)
 
 (** {1 Image helpers shared with {!Checkpoint}} *)
 

@@ -168,10 +168,15 @@ let swap_in_kernel t l =
     kernel back in through the ordinary swap-in path, which reloads kernel
     objects, spaces and written-back threads.  Threads that were loaded at
     the instant of the crash restart fresh from their bodies — work since
-    their last writeback is lost, exactly the paper's recovery contract. *)
-let restart_node t =
+    their last writeback is lost, exactly the paper's recovery contract.
+
+    [epoch] is the incarnation number the node rejoins under (stamped on
+    the [Node_restart] trace event); automatic failover passes the fenced
+    epoch, manual restarts may leave the default. *)
+let restart_node ?(epoch = 0) t =
   if not t.inst.Instance.halted then Error (Api.Bad_argument "node has not crashed")
   else begin
+    let started_us = t.inst.Instance.crashed_at_us in
     t.inst.Instance.halted <- false;
     App_kernel.mark_crashed t.ak;
     List.iter
@@ -185,6 +190,15 @@ let restart_node t =
       let rec bring = function
         | [] ->
           Fault_inject.recover t.inst.Instance.fi ~site:"node.crash";
+          (* restart observability: how long the node was down in simulated
+             time (crash -> successful restart), plus a counter and trace *)
+          let down_us =
+            Hw.Cost.us_of_cycles (Hw.Mpm.now t.inst.Instance.node) -. started_us
+          in
+          Instance.count t.inst "srm.restart";
+          Instance.observe t.inst "srm.restart_us" down_us;
+          Instance.trace t.inst
+            (Trace.Node_restart { node = Instance.node_id t.inst; epoch });
           Ok ()
         | l :: rest -> (
           match swap_in_kernel t l with Error e -> Error e | Ok () -> bring rest)

@@ -66,11 +66,14 @@ val swap_in_kernel : t -> launched -> (unit, Api.error) result
 (** Reload the kernel object (new identifier), rebind its space, reload its
     threads. *)
 
-val restart_node : t -> (unit, Api.error) result
+val restart_node : ?epoch:int -> t -> (unit, Api.error) result
 (** Rebuild a crashed ({!Instance.crash}) node from writeback images:
     re-boot the SRM's kernel as the first kernel, then swap every launched
     kernel back in.  Threads loaded at the instant of the crash restart
-    fresh; written-back state is restored (experiment X3). *)
+    fresh; written-back state is restored (experiment X3).  Counts
+    [srm.restart], observes the simulated downtime as [srm.restart_us] and
+    traces [Node_restart] with [epoch] (the incarnation the node rejoins
+    under — {!Distrib.rejoin} passes the fenced epoch). *)
 
 val register_tap :
   t ->

@@ -12,46 +12,62 @@ let ok = function
 
 (* -- wire codec -- *)
 
-let print_msg = function
-  | Srm.Distrib.Load_report { node; runnable } ->
-    Printf.sprintf "Load_report(%d,%d)" node runnable
-  | Srm.Distrib.Coschedule { gang; priority } ->
-    Printf.sprintf "Coschedule(%d,%d)" gang priority
-  | Srm.Distrib.Migrate_chunk { xfer; seq; total; part } ->
-    Printf.sprintf "Migrate_chunk(%d,%d/%d,%dB)" xfer seq total (Bytes.length part)
-  | Srm.Distrib.Migrate_ack { xfer; ok } -> Printf.sprintf "Migrate_ack(%d,%b)" xfer ok
-  | Srm.Distrib.Migrate_signal { xfer; tag; va } ->
-    Printf.sprintf "Migrate_signal(%d,%d,0x%x)" xfer tag va
+let print_msg (epoch, m) =
+  let body =
+    match m with
+    | Srm.Distrib.Load_report { node; runnable } ->
+      Printf.sprintf "Load_report(%d,%d)" node runnable
+    | Srm.Distrib.Coschedule { gang; priority } ->
+      Printf.sprintf "Coschedule(%d,%d)" gang priority
+    | Srm.Distrib.Migrate_chunk { xfer; seq; total; part } ->
+      Printf.sprintf "Migrate_chunk(%d,%d/%d,%dB)" xfer seq total (Bytes.length part)
+    | Srm.Distrib.Migrate_ack { xfer; ok } -> Printf.sprintf "Migrate_ack(%d,%b)" xfer ok
+    | Srm.Distrib.Migrate_signal { xfer; tag; va } ->
+      Printf.sprintf "Migrate_signal(%d,%d,0x%x)" xfer tag va
+    | Srm.Distrib.Heartbeat { node; runnable; your_epoch } ->
+      Printf.sprintf "Heartbeat(%d,%d,e%d)" node runnable your_epoch
+    | Srm.Distrib.Migrate_ctl { xfer; op } -> Printf.sprintf "Migrate_ctl(%d,op%d)" xfer op
+  in
+  Printf.sprintf "e%d:%s" epoch body
 
 let gen_msg =
   let open QCheck.Gen in
   let w = int_bound 0xFFFFFF in
-  oneof
-    [
-      map2
-        (fun node runnable -> Srm.Distrib.Load_report { node; runnable })
-        (int_bound 255) w;
-      map2 (fun gang priority -> Srm.Distrib.Coschedule { gang; priority }) w (int_bound 31);
-      map
-        (fun (xfer, seq, total, s) ->
-          Srm.Distrib.Migrate_chunk { xfer; seq; total; part = Bytes.of_string s })
-        (quad w (int_bound 4096) (int_bound 4096) (string_size (int_bound 300)));
-      map2 (fun xfer okb -> Srm.Distrib.Migrate_ack { xfer; ok = okb }) w bool;
-      map
-        (fun (xfer, tag, va) -> Srm.Distrib.Migrate_signal { xfer; tag; va })
-        (triple w w w);
-    ]
+  let body =
+    oneof
+      [
+        map2
+          (fun node runnable -> Srm.Distrib.Load_report { node; runnable })
+          (int_bound 255) w;
+        map2 (fun gang priority -> Srm.Distrib.Coschedule { gang; priority }) w (int_bound 31);
+        map
+          (fun (xfer, seq, total, s) ->
+            Srm.Distrib.Migrate_chunk { xfer; seq; total; part = Bytes.of_string s })
+          (quad w (int_bound 4096) (int_bound 4096) (string_size (int_bound 300)));
+        map2 (fun xfer okb -> Srm.Distrib.Migrate_ack { xfer; ok = okb }) w bool;
+        map
+          (fun (xfer, tag, va) -> Srm.Distrib.Migrate_signal { xfer; tag; va })
+          (triple w w w);
+        map2
+          (fun (node, runnable) your_epoch ->
+            Srm.Distrib.Heartbeat { node; runnable; your_epoch })
+          (pair (int_bound 255) w)
+          (int_bound 0xFFFF);
+        map2 (fun xfer op -> Srm.Distrib.Migrate_ctl { xfer; op }) w (int_bound 3);
+      ]
+  in
+  map2 (fun epoch m -> (1 + epoch, m)) (int_bound 0xFFFF) body
 
 let wire_roundtrip =
-  QCheck.Test.make ~count:500 ~name:"encode/decode roundtrip"
+  QCheck.Test.make ~count:500 ~name:"encode/decode roundtrip (with epoch)"
     (QCheck.make ~print:print_msg gen_msg)
-    (fun m -> Srm.Distrib.decode (Srm.Distrib.encode m) = Some m)
+    (fun (epoch, m) -> Srm.Distrib.decode (Srm.Distrib.encode ~epoch m) = Some (epoch, m))
 
 let wire_truncation =
   QCheck.Test.make ~count:200 ~name:"every strict prefix decodes to None"
     (QCheck.make ~print:print_msg gen_msg)
-    (fun m ->
-      let b = Srm.Distrib.encode m in
+    (fun (epoch, m) ->
+      let b = Srm.Distrib.encode ~epoch m in
       let all_rejected = ref true in
       for l = 0 to Bytes.length b - 1 do
         if Srm.Distrib.decode (Bytes.sub b 0 l) <> None then all_rejected := false
@@ -68,17 +84,23 @@ let test_wire_garbage () =
   Bytes.set_int32_le bad_tag 0 9l;
   none "unknown tag" bad_tag;
   let ack = Srm.Distrib.encode (Srm.Distrib.Migrate_ack { xfer = 5; ok = true }) in
-  Bytes.set_int32_le ack 8 7l;
+  Bytes.set_int32_le ack 12 7l;
   none "ack with non-boolean word" ack;
+  let neg_epoch = Srm.Distrib.encode (Srm.Distrib.Load_report { node = 1; runnable = 2 }) in
+  Bytes.set_int32_le neg_epoch 4 (-1l);
+  none "negative epoch" neg_epoch;
+  let bad_op = Srm.Distrib.encode (Srm.Distrib.Migrate_ctl { xfer = 3; op = 0 }) in
+  Bytes.set_int32_le bad_op 12 9l;
+  none "ctl with out-of-range op" bad_op;
   let chunk =
     Srm.Distrib.encode
       (Srm.Distrib.Migrate_chunk { xfer = 1; seq = 0; total = 1; part = Bytes.make 8 'p' })
   in
   let overlong = Bytes.copy chunk in
-  Bytes.set_int32_le overlong 16 64l;
+  Bytes.set_int32_le overlong 20 64l;
   none "chunk claiming more payload than the frame carries" overlong;
   let negative = Bytes.copy chunk in
-  Bytes.set_int32_le negative 16 (-1l);
+  Bytes.set_int32_le negative 20 (-1l);
   none "chunk with negative payload length" negative
 
 let test_codec_corruption () =
