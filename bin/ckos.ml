@@ -9,6 +9,9 @@
      trace  — run one demand-paged program with the event trace enabled
      micro  — print the Table 2 micro-benchmark rows
      audit  — run a workload, then audit every cross-layer invariant
+     cluster — run a multi-node cluster, stepping nodes on --domains
+               OCaml domains; the printed observable digest must not
+               vary with the domain count
      checkpoint — run the UNIX session and save its image to a file
      restore    — replay the session in a fresh process, restore the image,
                   and verify memory content and syscall results match *)
@@ -509,6 +512,104 @@ let checkpoint_cmd =
        ~doc:"Run the UNIX session, checkpoint the application kernel to a file, and audit")
     Term.(const run_checkpoint $ cpus $ procs $ pause_us $ out)
 
+(* `ckos cluster`: boot an n-node cluster on one interconnect and step it
+   on one or more OCaml domains — the CLI surface for the parallel
+   engine.  Prints per-node stats plus a digest of every node's
+   metrics+trace JSON; the digest is invariant under --domains, so two
+   invocations differing only in domain count must print the same hash. *)
+let run_cluster nodes domains until_us load chaos chaos_seed partition_at
+    partition_for partition_minority metrics_out =
+  let chaos_cfg =
+    chaos_config ~rate:chaos ~seed:chaos_seed ?partition_at ~partition_for
+      ~partition_minority ()
+  in
+  let config =
+    {
+      Config.default with
+      Config.heartbeat_interval_us = 300.0;
+      suspect_timeout_us = 2_000.0;
+      chaos = chaos_cfg;
+    }
+  in
+  let c = Workload.Cluster.create ~config ~n:nodes () in
+  Array.iter
+    (fun (i : Instance.t) -> Trace.enable i.Instance.trace)
+    (Workload.Cluster.insts c);
+  for i = 0 to nodes - 1 do
+    ignore (Workload.Cluster.spawn_load c i ~iterations:2_000 load)
+  done;
+  Workload.Cluster.run ~until_us ~domains c;
+  let insts = Workload.Cluster.insts c in
+  Fmt.pr "cluster: %d nodes, %d domains, %.0f us simulated@." nodes domains until_us;
+  Array.iter
+    (fun (i : Instance.t) ->
+      Fmt.pr "  node %d: now %7d cycles  steps %6d  halted %b@."
+        (Instance.node_id i)
+        (Hw.Mpm.now i.Instance.node)
+        (Metrics.counter i.Instance.metrics "engine.steps")
+        i.Instance.halted)
+    insts;
+  let observable =
+    String.concat "\n"
+      (Array.to_list
+         (Array.map
+            (fun (i : Instance.t) ->
+              Json.to_string (Instance.metrics_json i)
+              ^ Json.to_string (Trace.to_json i.Instance.trace))
+            insts))
+  in
+  Fmt.pr "observable digest: %s  (must not vary with --domains)@."
+    (Digest.to_hex (Digest.string observable));
+  Option.iter
+    (fun path ->
+      write_json path "metrics"
+        (Json.List (Array.to_list (Array.map Instance.metrics_json insts))))
+    metrics_out
+
+let cluster_cmd =
+  let nodes = Arg.(value & opt int 4 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.") in
+  let domains =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Step the nodes on $(docv) OCaml domains inside the conservative \
+             lookahead window; observables are bit-identical for every value.")
+  in
+  let until_us =
+    Arg.(
+      value
+      & opt float 10_000.0
+      & info [ "until-us" ] ~docv:"US" ~doc:"Simulated run length.")
+  in
+  let load =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "load" ] ~docv:"T"
+          ~doc:"Self-yielding compute threads to spawn per node.")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "chaos" ] ~docv:"RATE"
+          ~doc:"Deterministic fault injection at the given per-site rate.")
+  in
+  let chaos_seed =
+    Arg.(
+      value
+      & opt int 42
+      & info [ "chaos-seed" ] ~docv:"N" ~doc:"Seed for the fault-injection PRNG streams.")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Run a multi-node cluster, optionally stepping nodes on parallel domains")
+    Term.(
+      const run_cluster $ nodes $ domains $ until_us $ load $ chaos $ chaos_seed
+      $ partition_at_arg $ partition_for_arg $ partition_minority_arg $ metrics_out)
+
 let restore_cmd =
   let file =
     Arg.(
@@ -529,4 +630,7 @@ let () =
        (Cmd.group
           ~default:run_term (* `ckos --metrics-out m.json` runs the workload *)
           (Cmd.info "ckos" ~doc:"Cache Kernel (OSDI '94) reproduction inspector")
-          [ info_cmd; run_cmd; trace_cmd; micro_cmd; audit_cmd; checkpoint_cmd; restore_cmd ]))
+          [
+            info_cmd; run_cmd; trace_cmd; micro_cmd; audit_cmd; cluster_cmd;
+            checkpoint_cmd; restore_cmd;
+          ]))

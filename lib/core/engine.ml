@@ -7,13 +7,29 @@
    scheduling, fault-forwarding and signal consequences.  The six-step
    page-fault protocol of Figure 2 is realised here:
 
-     1. the access faults in {!do_access} and traps to the Cache Kernel;
+     1. the access faults in {!do_read}/{!do_write} and traps to the
+        Cache Kernel;
      2. {!handle_fault} saves the thread state (its suspended continuation)
         and switches it onto its application kernel's handler;
      3. the handler frame runs application-kernel code;
      4. the handler loads a new mapping through {!Api};
      5. the handler returns (or used the combined load-and-resume call);
-     6. the faulting access is retried and the thread resumes. *)
+     6. the faulting access is retried and the thread resumes.
+
+   The per-event path is written to stay off the minor heap (DESIGN.md
+   section 12): no tuples, option wrappers, lists or fresh closures are
+   built per step — CPU ordering uses a visited bitmask over a scratch
+   array, scheduler predicates are cached per instance, and the running
+   table uses [Oid.none] sentinels instead of options.
+
+   Multi-node runs use a windowed bulk-synchronous schedule built on the
+   same conservative-lookahead argument as the per-step horizon: within a
+   window no peer can deliver earlier than its window-start clock plus the
+   minimum link latency, so nodes step independently (optionally on
+   separate domains) and exchange interconnect frames only at the barrier
+   between windows.  The merge order at the barrier is a function of
+   simulated time alone, so the run is bit-identical whatever the domain
+   count. *)
 
 open Instance
 
@@ -37,17 +53,15 @@ let frame_space t (th : Thread_obj.t) (frame : Thread_obj.frame) =
 let kill_thread t (th : Thread_obj.t) msg =
   Logs.warn (fun m ->
       m "node%d: killing thread %a: %s" (node_id t) Oid.pp th.Thread_obj.oid msg);
-  (match t.running.(t.active_cpu) with
-  | Some oid when Oid.equal oid th.Thread_obj.oid -> t.running.(t.active_cpu) <- None
-  | _ -> ());
+  if Oid.equal t.running.(t.active_cpu) th.Thread_obj.oid then
+    t.running.(t.active_cpu) <- Oid.none;
   th.Thread_obj.frames <- [];
   Replacement.unload_thread_now t ~reason:Wb.Exited th
 
 (** Normal completion of the outermost (user) frame. *)
 let thread_exited t (th : Thread_obj.t) =
-  (match t.running.(t.active_cpu) with
-  | Some oid when Oid.equal oid th.Thread_obj.oid -> t.running.(t.active_cpu) <- None
-  | _ -> ());
+  if Oid.equal t.running.(t.active_cpu) th.Thread_obj.oid then
+    t.running.(t.active_cpu) <- Oid.none;
   th.Thread_obj.frames <- [];
   Replacement.unload_thread_now t ~reason:Wb.Exited th
 
@@ -138,24 +152,27 @@ let handle_fault t (th : Thread_obj.t) (frame : Thread_obj.frame) (fault : Hw.Mm
   (* Deferred-copy fast path: a write fault on a copy-on-write mapping is
      resolved inside the Cache Kernel by copying the source frame. *)
   let cow_resolved =
-    match (fault.Hw.Mmu.kind, fault.Hw.Mmu.access, frame_space t th frame) with
-    | Hw.Mmu.Protection_violation, Hw.Mmu.Write, Some sp -> (
-      match
-        Mappings.find t.mappings ~space_slot:(Space_obj.asid sp) ~va:fault.Hw.Mmu.va
-      with
-      | Some m when m.Mappings.cow_dst <> None ->
-        let dst = Option.get m.Mappings.cow_dst in
-        let src = Mappings.pfn m in
-        Hw.Phys_mem.copy_page t.node.Hw.Mpm.mem ~src ~dst;
-        charge t (Config.c_cow_copy_per_word * (Hw.Addr.page_size / 4));
-        Replacement.flush_rtlbs_pfn t ~pfn:src;
-        Mappings.retarget t.mappings m ~new_pfn:dst;
-        m.Mappings.pte.Hw.Page_table.flags <-
-          { m.Mappings.pte.Hw.Page_table.flags with Hw.Page_table.writable = true };
-        Mappings.clear_cow t.mappings m;
-        t.stats.Stats.cow_copies <- t.stats.Stats.cow_copies + 1;
-        true
-      | _ -> false)
+    match fault.Hw.Mmu.kind with
+    | Hw.Mmu.Protection_violation when fault.Hw.Mmu.access = Hw.Mmu.Write -> (
+      match frame_space t th frame with
+      | Some sp -> (
+        match
+          Mappings.find t.mappings ~space_slot:(Space_obj.asid sp) ~va:fault.Hw.Mmu.va
+        with
+        | Some m when m.Mappings.cow_dst <> None ->
+          let dst = Option.get m.Mappings.cow_dst in
+          let src = Mappings.pfn m in
+          Hw.Phys_mem.copy_page t.node.Hw.Mpm.mem ~src ~dst;
+          charge t (Config.c_cow_copy_per_word * (Hw.Addr.page_size / 4));
+          Replacement.flush_rtlbs_pfn t ~pfn:src;
+          Mappings.retarget t.mappings m ~new_pfn:dst;
+          m.Mappings.pte.Hw.Page_table.flags <-
+            { m.Mappings.pte.Hw.Page_table.flags with Hw.Page_table.writable = true };
+          Mappings.clear_cow t.mappings m;
+          t.stats.Stats.cow_copies <- t.stats.Stats.cow_copies + 1;
+          true
+        | _ -> false)
+      | None -> false)
     | _ -> false
   in
   if cow_resolved then observe_cycles t "fault.cow_us" (now t - fault_t0)
@@ -223,11 +240,12 @@ let handle_fault t (th : Thread_obj.t) (frame : Thread_obj.frame) (fault : Hw.Mm
     end
   end
 
-(* A virtual-memory access by the current frame: translate, charge, and on
-   success run [commit] with the translation.  Faults divert to the
-   forwarding machinery; the paused status is left in place so the access
-   retries when the handler completes (Figure 2 step 6). *)
-let do_access t (th : Thread_obj.t) (frame : Thread_obj.frame) ~va ~access ~commit =
+(* A virtual-memory read/write by the current frame: translate, charge and
+   commit directly (no commit closure — these run once per memory access,
+   the hottest path in the simulator).  Faults divert to the forwarding
+   machinery; the paused status is left in place so the access retries
+   when the handler completes (Figure 2 step 6). *)
+let do_read t (th : Thread_obj.t) (frame : Thread_obj.frame) ~va k =
   match frame_space t th frame with
   | None ->
     kill_thread t th
@@ -236,7 +254,7 @@ let do_access t (th : Thread_obj.t) (frame : Thread_obj.frame) ~va ~access ~comm
     let cpu = cpu t in
     match
       Hw.Mmu.translate ~tlb:cpu.Hw.Cpu.tlb ~table:sp.Space_obj.table
-        ~asid:(Space_obj.asid sp) ~va ~access
+        ~asid:(Space_obj.asid sp) ~va ~access:Hw.Mmu.Read
     with
     | Ok tr ->
       if th.Thread_obj.fault_repeat <> 0 then begin
@@ -245,7 +263,33 @@ let do_access t (th : Thread_obj.t) (frame : Thread_obj.frame) ~va ~access ~comm
       end;
       let line = Hw.Cache_sim.access t.node.Hw.Mpm.cache tr.Hw.Mmu.paddr in
       charge t (tr.Hw.Mmu.cost + Hw.Mmu.data_cost line);
-      commit tr
+      let w = Hw.Phys_mem.read_word t.node.Hw.Mpm.mem tr.Hw.Mmu.paddr in
+      frame.Thread_obj.status <- Effect.Deep.continue k w
+    | Error fault -> handle_fault t th frame fault)
+
+let do_write t (th : Thread_obj.t) (frame : Thread_obj.frame) ~va v k =
+  match frame_space t th frame with
+  | None ->
+    kill_thread t th
+      (Fmt.str "memory access at %a with no address space" Hw.Addr.pp_addr va)
+  | Some sp -> (
+    let cpu = cpu t in
+    match
+      Hw.Mmu.translate ~tlb:cpu.Hw.Cpu.tlb ~table:sp.Space_obj.table
+        ~asid:(Space_obj.asid sp) ~va ~access:Hw.Mmu.Write
+    with
+    | Ok tr ->
+      if th.Thread_obj.fault_repeat <> 0 then begin
+        th.Thread_obj.fault_repeat <- 0;
+        th.Thread_obj.fault_key <- -1
+      end;
+      let line = Hw.Cache_sim.access t.node.Hw.Mpm.cache tr.Hw.Mmu.paddr in
+      charge t (tr.Hw.Mmu.cost + Hw.Mmu.data_cost line);
+      Hw.Phys_mem.write_word t.node.Hw.Mpm.mem tr.Hw.Mmu.paddr v;
+      frame.Thread_obj.status <- continue_unit k;
+      if tr.Hw.Mmu.pte.Hw.Page_table.flags.Hw.Page_table.message_mode then
+        Signals.on_message_write t ~pfn:tr.Hw.Mmu.pte.Hw.Page_table.frame
+          ~offset:(Hw.Addr.offset_of va)
     | Error fault -> handle_fault t th frame fault)
 
 (* Trap instruction processing: Cache Kernel calls are executed here;
@@ -298,59 +342,59 @@ let do_trap t (th : Thread_obj.t) (frame : Thread_obj.frame) p k =
           (push_handler t th ~kernel ~origin:Thread_obj.From_trap ~pushed_at:trap_t0
              (fun () -> kernel.Kernel_obj.handlers.Kernel_obj.on_trap th.Thread_obj.oid p))))
 
-(* Completion of the top frame.  A handler frame's result value feeds the
-   trap continuation below it; a faulted access below simply retries. *)
-let frame_completed t (th : Thread_obj.t) (frame : Thread_obj.frame) outcome =
-  match outcome with
-  | Error exn when frame.Thread_obj.mode = Thread_obj.Kernel_mode ->
+(* Completion of the top frame, split by outcome so the common success
+   path builds no [result] value.  A handler frame's result feeds the trap
+   continuation below it; a faulted access below simply retries. *)
+let frame_failed t (th : Thread_obj.t) (frame : Thread_obj.frame) exn =
+  if frame.Thread_obj.mode = Thread_obj.Kernel_mode then
     kill_thread t th
       (Fmt.str "application kernel handler raised %s" (Printexc.to_string exn))
-  | Error exn -> kill_thread t th (Fmt.str "uncaught %s" (Printexc.to_string exn))
-  | Ok v -> (
-    ignore (Thread_obj.pop_frame th);
-    if frame.Thread_obj.mode = Thread_obj.Kernel_mode then begin
-      th.Thread_obj.fault_depth <- max 0 (th.Thread_obj.fault_depth - 1);
-      charge t
-        (if frame.Thread_obj.combined_resume then Config.c_combined_resume
-         else Hw.Cost.exception_return);
-      if tracing t then begin
-        trace t (Trace.Exception_complete { thread = th.Thread_obj.oid });
-        trace t (Trace.Thread_resumed { thread = th.Thread_obj.oid })
-      end;
-      (* End-to-end handler latency, from the trap/fault that pushed the
-         frame (Figure 2 steps 1-6) to this exception return. *)
-      (match frame.Thread_obj.origin with
-      | Thread_obj.From_fault ->
-        Metrics.observe_hist_cycles t.hot.fault_handle_us
-          (now t - frame.Thread_obj.pushed_at)
-      | Thread_obj.From_trap ->
-        Metrics.observe_hist_cycles t.hot.trap_forward_us
-          (now t - frame.Thread_obj.pushed_at)
-      | Thread_obj.Internal -> ())
+  else kill_thread t th (Fmt.str "uncaught %s" (Printexc.to_string exn))
+
+let frame_ok t (th : Thread_obj.t) (frame : Thread_obj.frame) v =
+  ignore (Thread_obj.pop_frame th);
+  if frame.Thread_obj.mode = Thread_obj.Kernel_mode then begin
+    th.Thread_obj.fault_depth <- max 0 (th.Thread_obj.fault_depth - 1);
+    charge t
+      (if frame.Thread_obj.combined_resume then Config.c_combined_resume
+       else Hw.Cost.exception_return);
+    if tracing t then begin
+      trace t (Trace.Exception_complete { thread = th.Thread_obj.oid });
+      trace t (Trace.Thread_resumed { thread = th.Thread_obj.oid })
     end;
-    match th.Thread_obj.frames with
-    | [] -> thread_exited t th
-    | lower :: _ ->
-      if th.Thread_obj.unload_pending then begin
-        (* Deliver the trap result after the thread is reloaded. *)
-        match lower.Thread_obj.status with
-        | Hw.Exec.On_trap _ -> th.Thread_obj.resume_value <- Some v
-        | _ -> ()
-      end
-      else begin
-        match lower.Thread_obj.status with
-        | Hw.Exec.On_trap (_, k) ->
-          lower.Thread_obj.status <- Effect.Deep.continue k v
-        | Hw.Exec.On_read _ | Hw.Exec.On_write _ ->
-          () (* the faulted access retries on the next step *)
-        | _ -> ()
-      end)
+    (* End-to-end handler latency, from the trap/fault that pushed the
+       frame (Figure 2 steps 1-6) to this exception return. *)
+    match frame.Thread_obj.origin with
+    | Thread_obj.From_fault ->
+      Metrics.observe_hist_cycles t.hot.fault_handle_us
+        (now t - frame.Thread_obj.pushed_at)
+    | Thread_obj.From_trap ->
+      Metrics.observe_hist_cycles t.hot.trap_forward_us
+        (now t - frame.Thread_obj.pushed_at)
+    | Thread_obj.Internal -> ()
+  end;
+  match th.Thread_obj.frames with
+  | [] -> thread_exited t th
+  | lower :: _ ->
+    if th.Thread_obj.unload_pending then begin
+      (* Deliver the trap result after the thread is reloaded. *)
+      match lower.Thread_obj.status with
+      | Hw.Exec.On_trap _ -> th.Thread_obj.resume_value <- Some v
+      | _ -> ()
+    end
+    else begin
+      match lower.Thread_obj.status with
+      | Hw.Exec.On_trap (_, k) -> lower.Thread_obj.status <- Effect.Deep.continue k v
+      | Hw.Exec.On_read _ | Hw.Exec.On_write _ ->
+        () (* the faulted access retries on the next step *)
+      | _ -> ()
+    end
 
 (* One step of the thread: resume its top frame to the next effect. *)
 let step_frame t (th : Thread_obj.t) (frame : Thread_obj.frame) =
   match frame.Thread_obj.status with
-  | Hw.Exec.Done v -> frame_completed t th frame (Ok v)
-  | Hw.Exec.Failed e -> frame_completed t th frame (Error e)
+  | Hw.Exec.Done v -> frame_ok t th frame v
+  | Hw.Exec.Failed e -> frame_failed t th frame e
   | Hw.Exec.On_compute (n, k) ->
     if th.Thread_obj.slice_left <= 0 then
       (* the scheduler decided to keep running it: fresh quantum *)
@@ -360,17 +404,8 @@ let step_frame t (th : Thread_obj.t) (frame : Thread_obj.frame) =
     th.Thread_obj.slice_left <- th.Thread_obj.slice_left - run;
     if run >= n then frame.Thread_obj.status <- continue_unit k
     else frame.Thread_obj.status <- Hw.Exec.On_compute (n - run, k)
-  | Hw.Exec.On_read (va, k) ->
-    do_access t th frame ~va ~access:Hw.Mmu.Read ~commit:(fun tr ->
-        let w = Hw.Phys_mem.read_word t.node.Hw.Mpm.mem tr.Hw.Mmu.paddr in
-        frame.Thread_obj.status <- Effect.Deep.continue k w)
-  | Hw.Exec.On_write (va, v, k) ->
-    do_access t th frame ~va ~access:Hw.Mmu.Write ~commit:(fun tr ->
-        Hw.Phys_mem.write_word t.node.Hw.Mpm.mem tr.Hw.Mmu.paddr v;
-        frame.Thread_obj.status <- continue_unit k;
-        if tr.Hw.Mmu.pte.Hw.Page_table.flags.Hw.Page_table.message_mode then
-          Signals.on_message_write t ~pfn:tr.Hw.Mmu.pte.Hw.Page_table.frame
-            ~offset:(Hw.Addr.offset_of va))
+  | Hw.Exec.On_read (va, k) -> do_read t th frame ~va k
+  | Hw.Exec.On_write (va, v, k) -> do_write t th frame ~va v k
   | Hw.Exec.On_trap (p, k) -> do_trap t th frame p k
   | Hw.Exec.On_time k ->
     frame.Thread_obj.status <-
@@ -378,14 +413,14 @@ let step_frame t (th : Thread_obj.t) (frame : Thread_obj.frame) =
 
 let step_thread t ~cpu_id (th : Thread_obj.t) =
   t.active_cpu <- cpu_id;
-  t.current_thread <- Some th.Thread_obj.oid;
+  t.current_thread <- th.Thread_obj.oid;
   let cpu = cpu t in
   th.Thread_obj.recently_used <- true;
   let t0 = cpu.Hw.Cpu.local_time in
   (match Thread_obj.top th with
   | None -> thread_exited t th
   | Some frame -> step_frame t th frame);
-  t.current_thread <- None;
+  t.current_thread <- Oid.none;
   let delta = cpu.Hw.Cpu.local_time - t0 in
   th.Thread_obj.consumed <- th.Thread_obj.consumed + delta;
   (* Processor-percentage accounting with premium charging (section 4.3). *)
@@ -401,15 +436,14 @@ let step_thread t ~cpu_id (th : Thread_obj.t) =
   | None -> ());
   (* Post-step transitions. *)
   if th.Thread_obj.unload_pending then begin
-    (match t.running.(cpu_id) with
-    | Some oid when Oid.equal oid th.Thread_obj.oid -> t.running.(cpu_id) <- None
-    | _ -> ());
+    if Oid.equal t.running.(cpu_id) th.Thread_obj.oid then
+      t.running.(cpu_id) <- Oid.none;
     Replacement.unload_thread_now t ~reason:Wb.Requested th
   end
   else
     match th.Thread_obj.state with
     | Thread_obj.Blocked _ ->
-      t.running.(cpu_id) <- None;
+      t.running.(cpu_id) <- Oid.none;
       charge t Hw.Cost.context_switch
     | Thread_obj.Running _ | Thread_obj.Ready | Thread_obj.Exited -> ()
 
@@ -427,6 +461,19 @@ let eligible_normal t ~cpu_id _oid (th : Thread_obj.t) =
 let eligible_idle _t ~cpu_id _oid (th : Thread_obj.t) =
   match th.Thread_obj.affinity with Some c -> c = cpu_id | None -> true
 
+(* The scheduler's resolve/eligibility predicates close over the instance
+   and the CPU; build them once per instance (lazily, so tests that poke
+   the scheduler directly see the same behavior) instead of allocating
+   fresh closures on every step. *)
+let ensure_sched_caches t =
+  if Array.length t.elig_normal = 0 then begin
+    let nc = Hw.Mpm.n_cpus t.node in
+    t.elig_normal <-
+      Array.init nc (fun cpu_id -> fun oid th -> eligible_normal t ~cpu_id oid th);
+    t.elig_idle <-
+      Array.init nc (fun cpu_id -> fun oid th -> eligible_idle t ~cpu_id oid th)
+  end
+
 let roll_quota_epoch t ~now_cycles =
   if now_cycles - t.quota_epoch_start >= t.config.Config.quota_epoch then begin
     Caches.Kernel_cache.iter t.kernels Quota.reset_epoch;
@@ -442,13 +489,13 @@ let maybe_audit t ~now_cycles =
     ignore (Audit.run ~repair:true t)
   end
 
-let dispatch t ~cpu_id (oid, (th : Thread_obj.t)) =
+let dispatch t ~cpu_id oid (th : Thread_obj.t) =
   let cpu = t.node.Hw.Mpm.cpus.(cpu_id) in
   Hw.Cpu.idle_until cpu th.Thread_obj.ready_since;
   Hw.Cpu.charge cpu (Hw.Cost.dispatch + Hw.Cost.context_switch);
   th.Thread_obj.state <- Thread_obj.Running cpu_id;
   th.Thread_obj.slice_left <- t.config.Config.time_slice;
-  t.running.(cpu_id) <- Some oid;
+  t.running.(cpu_id) <- oid;
   cpu.Hw.Cpu.switches <- cpu.Hw.Cpu.switches + 1;
   Stdlib.incr t.hot.dispatches;
   (* Dispatch-to-run latency: ready-queue wait plus the switch just charged. *)
@@ -462,19 +509,19 @@ let step_cpu t ~cpu_id =
   let cpu = t.node.Hw.Mpm.cpus.(cpu_id) in
   roll_quota_epoch t ~now_cycles:cpu.Hw.Cpu.local_time;
   maybe_audit t ~now_cycles:cpu.Hw.Cpu.local_time;
-  let resolve = resolve_ready t in
-  match running_thread t ~cpu_id with
+  ensure_sched_caches t;
+  let resolve = t.sched_resolve in
+  let roid = t.running.(cpu_id) in
+  let th = if Oid.is_none roid then None else find_thread t roid in
+  match th with
   | Some th ->
-    let better =
-      Scheduler.highest_ready t.sched ~resolve
-        ~eligible:(eligible_normal t ~cpu_id)
+    let p =
+      Scheduler.highest_ready_pri t.sched ~resolve ~eligible:t.elig_normal.(cpu_id)
     in
     let preempt =
-      match better with
-      | Some p ->
-        p > th.Thread_obj.priority
-        || (th.Thread_obj.slice_left <= 0 && p >= th.Thread_obj.priority)
-      | None -> false
+      p >= 0
+      && (p > th.Thread_obj.priority
+         || (th.Thread_obj.slice_left <= 0 && p >= th.Thread_obj.priority))
     in
     if preempt then begin
       Hw.Cpu.charge cpu Hw.Cost.context_switch;
@@ -483,7 +530,7 @@ let step_cpu t ~cpu_id =
       if tracing t then
         trace t (Trace.Thread_preempted { thread = th.Thread_obj.oid; cpu = cpu_id });
       make_ready t th;
-      t.running.(cpu_id) <- None;
+      t.running.(cpu_id) <- Oid.none;
       `Ran
     end
     else begin
@@ -491,17 +538,53 @@ let step_cpu t ~cpu_id =
       `Ran
     end
   | None -> (
-    let pick eligible = Scheduler.pick t.sched ~resolve ~eligible in
-    let choice =
-      match pick (eligible_normal t ~cpu_id) with
-      | Some c -> Some c
-      | None -> pick (eligible_idle t ~cpu_id)
-    in
-    match choice with
-    | Some c ->
-      dispatch t ~cpu_id c;
+    match Scheduler.pick t.sched ~resolve ~eligible:t.elig_normal.(cpu_id) with
+    | Some (oid, th) ->
+      dispatch t ~cpu_id oid th;
       `Ran
-    | None -> `Idle)
+    | None -> (
+      match Scheduler.pick t.sched ~resolve ~eligible:t.elig_idle.(cpu_id) with
+      | Some (oid, th) ->
+        dispatch t ~cpu_id oid th;
+        `Ran
+      | None -> `Idle))
+
+(* An idle CPU must not hold back node time (events become due only when
+   every CPU has reached them): pull it forward to the earliest of the
+   next event (horizon-capped, [max_int] when absent) and the other CPUs'
+   clocks.  Returns whether it advanced. *)
+let pull_forward (cpus : Hw.Cpu.t array) nc next_jump cpu_id =
+  let me = cpus.(cpu_id) in
+  let mt = me.Hw.Cpu.local_time in
+  let best = ref max_int in
+  if next_jump <> max_int && next_jump > mt then best := next_jump;
+  for i = 0 to nc - 1 do
+    let ct = cpus.(i).Hw.Cpu.local_time in
+    if ct > mt && ct < !best then best := ct
+  done;
+  if !best <> max_int then begin
+    Hw.Cpu.idle_until me !best;
+    true
+  end
+  else false
+
+(* Snapshot CPU clocks into [times] and return their minimum. *)
+let rec snap_min (cpus : Hw.Cpu.t array) (times : int array) i acc =
+  if i >= Array.length cpus then acc
+  else begin
+    let ct = cpus.(i).Hw.Cpu.local_time in
+    times.(i) <- ct;
+    snap_min cpus times (i + 1) (if ct < acc then ct else acc)
+  end
+
+(* Lowest-indexed unvisited CPU with the smallest snapshot time — the
+   order a stable sort of indices by time would visit them in, computed
+   by selection over the scratch array instead of building a list. *)
+let rec select_cpu (times : int array) nc visited i best best_t =
+  if i >= nc then best
+  else if visited land (1 lsl i) = 0 && times.(i) < best_t then
+    select_cpu times nc visited (i + 1) i times.(i)
+  else select_cpu times nc visited (i + 1) best best_t
 
 (** Advance one node by one step: a due event, a thread step, or an idle
     advance to the next event.  [`Quiescent] means nothing can happen until
@@ -515,53 +598,38 @@ let step_node ?(horizon = max_int) t =
   if t.halted then `Quiescent
   else begin
     let cpus = t.node.Hw.Mpm.cpus in
-    let order =
-      List.sort
-        (fun a b -> compare cpus.(a).Hw.Cpu.local_time cpus.(b).Hw.Cpu.local_time)
-        (List.init (Array.length cpus) Fun.id)
-    in
-    let min_time = cpus.(List.hd order).Hw.Cpu.local_time in
-    match Hw.Event_queue.next_time t.node.Hw.Mpm.events with
-    | Some et when et <= min_time ->
+    let nc = Array.length cpus in
+    let times = t.cpu_time_scratch in
+    let min_time = snap_min cpus times 0 max_int in
+    let et = Hw.Event_queue.next_time_or t.node.Hw.Mpm.events ~default:max_int in
+    if et <> max_int && et <= min_time then begin
       ignore (Hw.Event_queue.run_next t.node.Hw.Mpm.events);
       `Progress
-    | next_event ->
-      (* An idle CPU must not hold back node time (events become due only
-         when every CPU has reached them): pull it forward to the earliest
-         of the next event (horizon-capped) and the other CPUs' clocks. *)
-      let next_jump = Option.map (fun et -> min et horizon) next_event in
-      let pull_forward cpu_id =
-        let me = cpus.(cpu_id) in
-        let candidates =
-          let evs = match next_jump with Some et -> [ et ] | None -> [] in
-          Array.fold_left
-            (fun acc (c : Hw.Cpu.t) ->
-              if c.Hw.Cpu.local_time > me.Hw.Cpu.local_time then
-                c.Hw.Cpu.local_time :: acc
-              else acc)
-            evs cpus
-        in
-        match List.filter (fun c -> c > me.Hw.Cpu.local_time) candidates with
-        | [] -> false
-        | l ->
-          Hw.Cpu.idle_until me (List.fold_left min (List.hd l) l);
-          true
-      in
-      let rec try_cpus advanced = function
-        | [] ->
+    end
+    else begin
+      let next_jump = if et = max_int then max_int else min et horizon in
+      (* Try CPUs in ascending-snapshot-time order; stop at the first that
+         runs.  Idle CPUs are pulled forward as they are passed over. *)
+      let rec try_cpus visited advanced =
+        match select_cpu times nc visited 0 (-1) max_int with
+        | -1 ->
           if advanced then `Progress
-          else (
-            match next_jump with
-            | Some et when et > min_time ->
-              Array.iter (fun c -> Hw.Cpu.idle_until c et) cpus;
-              `Progress
-            | Some _ | None -> `Quiescent)
-        | cpu_id :: rest -> (
+          else if next_jump <> max_int && next_jump > min_time then begin
+            for i = 0 to nc - 1 do
+              Hw.Cpu.idle_until cpus.(i) next_jump
+            done;
+            `Progress
+          end
+          else `Quiescent
+        | cpu_id -> (
           match step_cpu t ~cpu_id with
           | `Ran -> `Progress
-          | `Idle -> try_cpus (pull_forward cpu_id || advanced) rest)
+          | `Idle ->
+            let adv = pull_forward cpus nc next_jump cpu_id || advanced in
+            try_cpus (visited lor (1 lsl cpu_id)) adv)
       in
-      try_cpus false order
+      try_cpus 0 false
+    end
   end
 
 (** Level all CPU clocks of [t] to the node's latest time (end-of-run
@@ -570,73 +638,366 @@ let sync_clocks t =
   let latest = Hw.Mpm.now t.node in
   Array.iter (fun c -> Hw.Cpu.idle_until c latest) t.node.Hw.Mpm.cpus
 
-(** Run a cluster of Cache Kernel instances until every node is quiescent,
-    the optional simulated-time bound is reached, or [max_steps] engine
-    steps have executed.  Returns the number of steps taken. *)
 let node_time (n : Instance.t) =
   Array.fold_left (fun acc c -> min acc c.Hw.Cpu.local_time) max_int n.node.Hw.Mpm.cpus
 
-let run ?until_us ?(max_steps = 200_000_000) (nodes : Instance.t array) =
-  let until = Option.map Hw.Cost.cycles_of_us until_us in
+let past_deadline until (nd : Instance.t) =
+  match until with
+  | Some u ->
+    Array.for_all (fun (c : Hw.Cpu.t) -> c.Hw.Cpu.local_time >= u) nd.node.Hw.Mpm.cpus
+  | None -> false
+
+(* -- Windowed multi-node schedule (DESIGN.md section 12) --
+
+   Nodes advance in bulk-synchronous windows.  At each window start the
+   node clocks are snapshot; node [i] may then step freely while its time
+   is below [cap_i] = min over active peers [m] of (time_m + fiber_packet):
+   no frame a peer has not yet sent can arrive below that bound, so the
+   window's work is node-local by construction and nodes can step on
+   separate domains.  Cross-node effects (interconnect frames, topology
+   transitions, failover actions) buffer during the window and apply at
+   the barrier in an order derived from simulated time alone — so runs
+   are bit-identical for any domain count, including 1. *)
+
+type wctx = {
+  w_nodes : Instance.t array;
+  w_qflags : bool array;
+      (* persistent quiescence: nothing node-local can wake a quiescent
+         node, so the flag survives windows and clears only when barrier
+         activity (a delivery, a transition, an action) could wake it *)
+  w_bactions : (int * (unit -> unit)) list ref array; (* per node, reversed *)
+  w_bseq : int array;
+  w_send_bound : int array;
+      (* per node, reset each window: the earliest cycle a reply to a
+         frame this node sent *during the current window* could arrive
+         back — a send can wake a quiescent peer the cap computation
+         excluded, so the sender must not idle-jump past the earliest
+         possible answer *)
+}
+
+(* Which (run, node) this domain is currently stepping — lets
+   {!at_barrier} route cross-node work to the right run's barrier without
+   threading a context through every callback layer. *)
+let dls_ctx : (wctx * int) option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+(* Every interconnect send reports the earliest possible reply arrival;
+   inside a window that collapses the sending node's horizon (see
+   [w_send_bound]).  Outside a windowed run the hook is inert. *)
+let () =
+  Hw.Interconnect.send_hook :=
+    fun bound ->
+      match Domain.DLS.get dls_ctx with
+      | None -> ()
+      | Some (ctx, i) ->
+        if bound < ctx.w_send_bound.(i) then ctx.w_send_bound.(i) <- bound
+
+(** Defer [f] to the current windowed run's barrier, where it executes
+    single-threaded with every node's clock stable; outside a windowed
+    run (or already at the barrier) [f] runs immediately.  Actions run in
+    (enqueuing node, per-node sequence) order — deterministic because each
+    node's window execution is. *)
+let at_barrier f =
+  match Domain.DLS.get dls_ctx with
+  | None -> f ()
+  | Some (ctx, i) ->
+    let s = ctx.w_bseq.(i) in
+    ctx.w_bseq.(i) <- s + 1;
+    ctx.w_bactions.(i) := (s, f) :: !(ctx.w_bactions.(i))
+
+(* One node's share of a window: step while below the cap (the final step
+   may overshoot it, exactly as the per-step horizon only caps idle
+   jumps).  [budget] bounds runaway nodes; the bound is computed from
+   window-start state so it is domain-count independent.
+
+   A quiescence-flagged node is still probed (one cheap [`Quiescent]
+   step_node when truly idle): an event may have landed on its queue
+   without barrier traffic — an unbuffered net, or a peer's handler
+   scheduling onto it directly — and the probe is what wakes it.  The
+   flag's real job is the cap computation: a flagged peer does not gate
+   the window, so active nodes are not stuck 750 cycles above a node
+   that may stay idle forever. *)
+let window_work ctx ~ubound ~cap ~budget i =
+  let nd = ctx.w_nodes.(i) in
+  Domain.DLS.set dls_ctx (Some (ctx, i));
+  (* idle jumps stop at the run deadline too: without this a node whose
+     peers are all quiescent would leap to a far-future timer, and the
+     replies its own frames provoke would land stamped in its past *)
+  let horizon = min cap ubound in
+  ctx.w_send_bound.(i) <- max_int;
+  let taken = ref 0 in
+  let go = ref true in
+  while !go && !taken < budget do
+    let nt = node_time nd in
+    let et = Hw.Event_queue.next_time_or nd.node.Hw.Mpm.events ~default:max_int in
+    (* an event already due runs at its stamped (past) time and advances
+       no clock, so it is exempt from both the deadline and the cap —
+       refusing it would strand in-bound traffic behind a node whose
+       clock out-ran it *)
+    let drainable = et <= nt && et <= ubound in
+    (* a send this window may wake a peer the cap ignored; don't outrun
+       the earliest reply it could provoke *)
+    let h = min horizon ctx.w_send_bound.(i) in
+    if nt >= h && not drainable then go := false
+    else
+      match step_node ~horizon:h nd with
+      | `Progress ->
+        incr taken;
+        ctx.w_qflags.(i) <- false
+      | `Quiescent ->
+        ctx.w_qflags.(i) <- true;
+        go := false
+  done;
+  Domain.DLS.set dls_ctx None;
+  !taken
+
+(* Persistent worker pool: one spawn per run, not per window.  The main
+   thread acts as worker 0; workers run [job w] each epoch. *)
+type pool = {
+  n_workers : int; (* spawned domains, excluding the main thread *)
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable job : int -> unit;
+  mutable epoch : int;
+  mutable done_count : int;
+  mutable stop : bool;
+  mutable doms : unit Domain.t array;
+}
+
+let pool_worker p w =
+  let seen = ref 0 in
+  let live = ref true in
+  while !live do
+    Mutex.lock p.m;
+    while p.epoch = !seen && not p.stop do
+      Condition.wait p.cv p.m
+    done;
+    if p.stop then begin
+      Mutex.unlock p.m;
+      live := false
+    end
+    else begin
+      seen := p.epoch;
+      let job = p.job in
+      Mutex.unlock p.m;
+      job w;
+      Mutex.lock p.m;
+      p.done_count <- p.done_count + 1;
+      if p.done_count = p.n_workers then Condition.broadcast p.cv;
+      Mutex.unlock p.m
+    end
+  done
+
+let make_pool n_workers =
+  let p =
+    {
+      n_workers;
+      m = Mutex.create ();
+      cv = Condition.create ();
+      job = ignore;
+      epoch = 0;
+      done_count = 0;
+      stop = false;
+      doms = [||];
+    }
+  in
+  p.doms <- Array.init n_workers (fun k -> Domain.spawn (fun () -> pool_worker p (k + 1)));
+  p
+
+let pool_run p job =
+  Mutex.lock p.m;
+  p.job <- job;
+  p.done_count <- 0;
+  p.epoch <- p.epoch + 1;
+  Condition.broadcast p.cv;
+  Mutex.unlock p.m;
+  job 0;
+  Mutex.lock p.m;
+  while p.done_count < p.n_workers do
+    Condition.wait p.cv p.m
+  done;
+  Mutex.unlock p.m
+
+let pool_shutdown p =
+  Mutex.lock p.m;
+  p.stop <- true;
+  Condition.broadcast p.cv;
+  Mutex.unlock p.m;
+  Array.iter Domain.join p.doms
+
+(* Barrier: apply buffered interconnect ops (merged (time, actor, seq)
+   order), then the deferred barrier actions ((node, seq) order), looping
+   until a round applies nothing — actions may send frames, which must
+   land before the next window.  Returns the total applied, so the caller
+   can clear quiescence flags when anything could have woken a node. *)
+let drain_barrier ctx nets =
+  let total = ref 0 in
+  let more = ref true in
+  while !more do
+    let ops = List.fold_left (fun a net -> a + Hw.Interconnect.flush_window net) 0 nets in
+    let acts = ref 0 in
+    Array.iter
+      (fun buf ->
+        match !buf with
+        | [] -> ()
+        | l ->
+          buf := [];
+          let l = List.rev l in
+          List.iter (fun (_, f) -> f ()) l;
+          acts := !acts + List.length l)
+      ctx.w_bactions;
+    total := !total + ops + !acts;
+    more := ops > 0 || !acts > 0
+  done;
+  !total
+
+let collect_nets (nodes : Instance.t array) =
+  Array.fold_left
+    (fun acc n ->
+      List.fold_left
+        (fun acc net -> if List.memq net acc then acc else net :: acc)
+        acc n.Instance.nets)
+    [] nodes
+
+(* Per-node step bound within one window.  Mostly the conservative cap
+   bounds a window, but a node whose peers are all quiescent has
+   [cap = max_int] and would otherwise burn the entire run's step budget
+   before a sleeping peer is ever probed again (its wake-up event sits on
+   its queue until the next window).  A constant keeps the schedule
+   domain-count independent; barriers with nothing buffered are cheap, so
+   the bound costs little. *)
+let window_max_steps = 4096
+
+let run_windowed ~until ~max_steps ~domains (nodes : Instance.t array) node_steps =
+  let n = Array.length nodes in
+  let domains = max 1 (min domains n) in
+  let ubound = match until with Some u -> u | None -> max_int in
+  let nets = collect_nets nodes in
+  List.iter Hw.Interconnect.begin_window nets;
+  let ctx =
+    {
+      w_nodes = nodes;
+      w_qflags = Array.make n false;
+      w_bactions = Array.init n (fun _ -> ref []);
+      w_bseq = Array.make n 0;
+      w_send_bound = Array.make n max_int;
+    }
+  in
+  let caps = Array.make n max_int in
+  let times = Array.make n 0 in
+  let taken = Array.make n 0 in
+  let pool = if domains > 1 then Some (make_pool (domains - 1)) else None in
+  let steps = ref 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (match pool with Some p -> pool_shutdown p | None -> ());
+      List.iter Hw.Interconnect.end_window nets)
+    (fun () ->
+      let continue = ref true in
+      while !continue && !steps < max_steps do
+        for i = 0 to n - 1 do
+          times.(i) <- node_time nodes.(i)
+        done;
+        for i = 0 to n - 1 do
+          (* the conservative per-node cap: the earliest instant any still-
+             active peer could deliver to [i] (quiescent and halted peers
+             cannot originate traffic and do not gate the window) *)
+          let cap = ref max_int in
+          for m = 0 to n - 1 do
+            if m <> i && (not ctx.w_qflags.(m)) && not nodes.(m).halted then
+              cap := min !cap (times.(m) + Hw.Cost.fiber_packet)
+          done;
+          caps.(i) <- !cap
+        done;
+        let budget = min window_max_steps (max_steps - !steps) in
+        Array.fill taken 0 n 0;
+        let work w =
+          let i = ref w in
+          while !i < n do
+            taken.(!i) <- window_work ctx ~ubound ~cap:caps.(!i) ~budget !i;
+            i := !i + domains
+          done
+        in
+        (match pool with Some p -> pool_run p work | None -> work 0);
+        (if Sys.getenv_opt "CK_WINDOW_DEBUG" <> None then
+           let b = Buffer.create 128 in
+           for i = 0 to n - 1 do
+             Buffer.add_string b
+               (Printf.sprintf " n%d[t=%d cap=%s q=%b taken=%d ev=%s]" i times.(i)
+                  (if caps.(i) = max_int then "inf" else string_of_int caps.(i))
+                  ctx.w_qflags.(i) taken.(i)
+                  (let e =
+                     Hw.Event_queue.next_time_or nodes.(i).node.Hw.Mpm.events
+                       ~default:max_int
+                   in
+                   if e = max_int then "-" else string_of_int e))
+           done;
+           Printf.eprintf "WDBG%s\n%!" (Buffer.contents b));
+        let wsteps = Array.fold_left ( + ) 0 taken in
+        for i = 0 to n - 1 do
+          node_steps.(i) <- node_steps.(i) + taken.(i)
+        done;
+        steps := !steps + wsteps;
+        let applied = drain_barrier ctx nets in
+        if applied > 0 then Array.fill ctx.w_qflags 0 n false;
+        (* The least-time unflagged node always has cap > its own time, so
+           each window either steps or newly flags at least one node — the
+           loop below cannot spin. *)
+        (if wsteps = 0 && applied = 0 then begin
+           (* done only when every node is quiescence-flagged or past the
+              deadline: a node can take zero steps merely because its cap
+              was computed before a peer went quiescent mid-window, and
+              the next window's fresh caps unstick it *)
+           let all_done = ref true in
+           for i = 0 to n - 1 do
+             if not (ctx.w_qflags.(i) || node_time nodes.(i) >= ubound) then
+               all_done := false
+           done;
+           if !all_done then continue := false
+         end)
+      done;
+      !steps)
+
+let run_single ~until ~max_steps nd node_steps =
   let steps = ref 0 in
   let continue = ref true in
-  (* Step the laggard node first (ties to the lower index), and cap each
-     node's idle jumps at the earliest instant a still-active peer could
-     deliver to it: a frame not yet sent by a peer at clock [c] cannot
-     arrive before [c + fiber_packet], the smallest link latency.  Peers
-     that reported quiescent this pass cannot originate traffic and do not
-     gate the jump — without that exclusion an idle pair would deadlock
-     each other's clocks. *)
-  let order = Array.init (Array.length nodes) Fun.id in
-  let quiescent = Array.make (Array.length nodes) false in
-  (* per-node step attribution, flushed to the [engine.steps] counter at the
-     end of the run: the wall-clock harness divides it by real elapsed time
-     for an events/sec figure *)
-  let node_steps = Array.make (Array.length nodes) 0 in
   while !continue && !steps < max_steps do
-    if Array.length order > 1 then
-      Array.sort
-        (fun a b ->
-          let c = compare (node_time nodes.(a)) (node_time nodes.(b)) in
-          if c <> 0 then c else compare a b)
-        order;
-    Array.fill quiescent 0 (Array.length quiescent) false;
-    let progress = ref false in
-    Array.iter
-      (fun idx ->
-        let n = nodes.(idx) in
-        let past_deadline =
-          match until with
-          | Some u ->
-            Array.for_all (fun c -> c.Hw.Cpu.local_time >= u) n.node.Hw.Mpm.cpus
-          | None -> false
-        in
-        if (not !progress) && not past_deadline then begin
-          let horizon = ref max_int in
-          Array.iteri
-            (fun m_idx m ->
-              if m_idx <> idx && (not quiescent.(m_idx)) && not m.halted then
-                horizon := min !horizon (node_time m + Hw.Cost.fiber_packet))
-            nodes;
-          match step_node ~horizon:!horizon n with
-          | `Progress ->
-            incr steps;
-            node_steps.(idx) <- node_steps.(idx) + 1;
-            progress := true
-          | `Quiescent -> quiescent.(idx) <- true
-        end)
-      order;
-    if not !progress then continue := false
+    if past_deadline until nd then continue := false
+    else
+      match step_node nd with
+      | `Progress -> incr steps
+      | `Quiescent -> continue := false
   done;
-  Array.iter sync_clocks nodes;
-  Array.iteri
-    (fun idx n ->
-      if node_steps.(idx) > 0 then
-        Metrics.incr ~by:node_steps.(idx) n.metrics "engine.steps")
-    nodes;
-  (* every chaos run ends with a repairing audit: the injection plane must
-     never leave the caches, MMU state or ledgers inconsistent *)
-  Array.iter
-    (fun n -> if Fault_inject.enabled n.fi then ignore (Audit.run ~repair:true n))
-    nodes;
+  node_steps.(0) <- !steps;
   !steps
+
+(** Run a cluster of Cache Kernel instances until every node is quiescent,
+    the optional simulated-time bound is reached, or [max_steps] engine
+    steps have executed.  Multi-node clusters use the windowed schedule;
+    [domains] > 1 steps the window's per-node work on that many OCaml
+    domains (results are bit-identical to [domains = 1]).  Returns the
+    number of steps taken. *)
+let run ?until_us ?(max_steps = 200_000_000) ?(domains = 1) (nodes : Instance.t array) =
+  let until = Option.map Hw.Cost.cycles_of_us until_us in
+  let n = Array.length nodes in
+  if n = 0 then 0
+  else begin
+    let node_steps = Array.make n 0 in
+    let steps =
+      if n = 1 then run_single ~until ~max_steps nodes.(0) node_steps
+      else run_windowed ~until ~max_steps ~domains nodes node_steps
+    in
+    Array.iter sync_clocks nodes;
+    (* per-node step attribution: the wall-clock harness divides the
+       [engine.steps] counter by real elapsed time for an events/s figure *)
+    Array.iteri
+      (fun idx nd ->
+        if node_steps.(idx) > 0 then
+          Metrics.incr ~by:node_steps.(idx) nd.metrics "engine.steps")
+      nodes;
+    (* every chaos run ends with a repairing audit: the injection plane must
+       never leave the caches, MMU state or ledgers inconsistent *)
+    Array.iter
+      (fun nd -> if Fault_inject.enabled nd.fi then ignore (Audit.run ~repair:true nd))
+      nodes;
+    steps
+  end

@@ -44,11 +44,11 @@ type t = {
   hot : hot; (* pre-interned handles into [metrics] for per-event paths *)
   fi : Fault_inject.t; (* deterministic fault-injection plane *)
   mutable first_kernel : Oid.t; (* the system resource manager's kernel *)
-  running : Oid.t option array; (* per-CPU current thread *)
+  running : Oid.t array; (* per-CPU current thread; [Oid.none] when idle *)
   mutable active_cpu : int; (* CPU whose thread is executing right now *)
-  mutable current_thread : Oid.t option;
+  mutable current_thread : Oid.t;
       (* thread whose code (user or handler) is executing this very Cache
-         Kernel call; None when the call comes from outside the engine *)
+         Kernel call; [Oid.none] when the call comes from outside the engine *)
   mutable quota_epoch_start : Hw.Cost.cycles;
   mutable halted : bool; (* MPM hardware failure: fault containment *)
   mutable crashed_at_us : float; (* simulated time of the last crash *)
@@ -71,6 +71,18 @@ type t = {
   mutable on_misbehaving : kernel:Oid.t -> thread:Oid.t -> unit;
       (* Figure-2 watchdog escalation: a kernel failed twice to resolve a
          forwarded fault.  The SRM replaces the default no-op *)
+  (* Engine hot-path caches (DESIGN.md section 12): the scheduler's resolve
+     and per-CPU eligibility predicates are allocated once and reused, so a
+     step allocates no fresh closures; [cpu_time_scratch] snapshots CPU
+     clocks for the step's stable ordering without building lists. *)
+  mutable sched_resolve : Oid.t -> Thread_obj.t option;
+  mutable elig_normal : (Oid.t -> Thread_obj.t -> bool) array; (* per CPU *)
+  mutable elig_idle : (Oid.t -> Thread_obj.t -> bool) array; (* per CPU *)
+  cpu_time_scratch : int array;
+  mutable nets : Hw.Interconnect.t list;
+      (* interconnects this node sends on (registered by the layers that
+         attach NICs); the windowed engine puts them in buffered mode so
+         cross-node traffic only moves at window barriers *)
 }
 
 let node_id t = t.node.Hw.Mpm.node_id
@@ -105,8 +117,8 @@ let crash t =
     Fault_inject.inject t.fi ~site:"node.crash";
     t.halted <- true;
     t.crashed_at_us <- Hw.Cost.us_of_cycles (Hw.Mpm.now t.node);
-    Array.fill t.running 0 (Array.length t.running) None;
-    t.current_thread <- None;
+    Array.fill t.running 0 (Array.length t.running) Oid.none;
+    t.current_thread <- Oid.none;
     let ths =
       Caches.Thread_cache.fold t.threads
         (fun acc (th : Thread_obj.t) -> th.Thread_obj.oid :: acc)
@@ -174,9 +186,9 @@ let create ?(config = Config.default) node =
       hot = make_hot metrics;
       fi = Fault_inject.create config.Config.chaos;
       first_kernel = Oid.none;
-      running = Array.make (Hw.Mpm.n_cpus node) None;
+      running = Array.make (Hw.Mpm.n_cpus node) Oid.none;
       active_cpu = 0;
-      current_thread = None;
+      current_thread = Oid.none;
       quota_epoch_start = 0;
       halted = false;
       crashed_at_us = 0.0;
@@ -187,8 +199,18 @@ let create ?(config = Config.default) node =
       last_audit = 0;
       audit_hooks = [];
       on_misbehaving = (fun ~kernel:_ ~thread:_ -> ());
+      sched_resolve = (fun _ -> None); (* filled below, once [t] exists *)
+      elig_normal = [||]; (* filled lazily by {!Engine} *)
+      elig_idle = [||];
+      cpu_time_scratch = Array.make (Hw.Mpm.n_cpus node) 0;
+      nets = [];
     }
   in
+  t.sched_resolve <-
+    (fun oid ->
+      match Caches.Thread_cache.find t.threads oid with
+      | Some th when th.Thread_obj.state = Thread_obj.Ready -> Some th
+      | _ -> None);
   (* replacement-policy observability: adaptive rotations and premature
      reloads surface as policy.* metrics and trace events *)
   let attach_policy name p =
@@ -248,14 +270,16 @@ let find_thread t oid = Caches.Thread_cache.find t.threads oid
 let owner_of_thread t (th : Thread_obj.t) = find_kernel t th.Thread_obj.owner
 
 (** Resolve a Ready thread for the scheduler; drops stale/unready entries. *)
-let resolve_ready t oid =
-  match find_thread t oid with
-  | Some th when th.Thread_obj.state = Thread_obj.Ready -> Some th
-  | _ -> None
+let resolve_ready t oid = t.sched_resolve oid
 
 (** Thread currently running on [cpu_id]. *)
 let running_thread t ~cpu_id =
-  match t.running.(cpu_id) with None -> None | Some oid -> find_thread t oid
+  let oid = t.running.(cpu_id) in
+  if Oid.is_none oid then None else find_thread t oid
+
+(** Register an interconnect this node sends on; the windowed engine
+    switches registered nets into buffered mode during parallel runs. *)
+let register_net t net = if not (List.memq net t.nets) then t.nets <- net :: t.nets
 
 (** Mark a loaded thread ready and enqueue it. *)
 let make_ready t (th : Thread_obj.t) =

@@ -159,7 +159,7 @@ let make_room_mapping t =
 let force_deschedule t (th : Thread_obj.t) =
   match th.Thread_obj.state with
   | Thread_obj.Running cpu_id ->
-    t.running.(cpu_id) <- None;
+    t.running.(cpu_id) <- Oid.none;
     Hw.Cpu.charge t.node.Hw.Mpm.cpus.(cpu_id) Hw.Cost.context_switch;
     (* re-enqueue on the ready queue: a bare Ready flip would strand the
        thread — the scheduler only dispatches queued identifiers, and a
@@ -225,7 +225,7 @@ let threads_of_space t (space : Oid.t) =
     []
 
 let active_thread t =
-  match t.current_thread with None -> None | Some oid -> find_thread t oid
+  if Oid.is_none t.current_thread then None else find_thread t t.current_thread
 
 let is_active_thread t (th : Thread_obj.t) =
   match active_thread t with Some a -> a == th | None -> false

@@ -10,10 +10,19 @@
    Queues hold object identifiers; stale identifiers (the thread was
    unloaded since being enqueued) are dropped when encountered.  Eligibility
    (thread still Ready, CPU affinity, quota demotion) is decided by caller-
-   supplied predicates so this module stays policy-free. *)
+   supplied predicates so this module stays policy-free.
+
+   Each priority level is a ring buffer of identifiers (power-of-two
+   capacity, grown on demand) rather than a linked [Queue.t]: enqueue and
+   scan allocate nothing in steady state, and the preemption check
+   ({!highest_ready_pri}) is a read-only scan that stops at the first
+   eligible entry instead of cycling every identifier through pop/push
+   cells on each engine step. *)
 
 type t = {
-  queues : Oid.t Queue.t array; (* index = priority; higher index runs first *)
+  mutable bufs : Oid.t array array; (* index = priority; ring buffers *)
+  heads : int array; (* physical index of each ring's logical head *)
+  lens : int array;
   mutable approx_ready : int;
   mutable top_hint : int;
       (* upper bound on the highest non-empty priority: every queue above it
@@ -23,51 +32,100 @@ type t = {
          correct if it is too high, just slower *)
 }
 
+let initial_cap = 16 (* must be a power of two *)
+
 let create ~priorities =
   if priorities <= 0 then invalid_arg "Scheduler.create";
   {
-    queues = Array.init priorities (fun _ -> Queue.create ());
+    bufs = Array.init priorities (fun _ -> Array.make initial_cap Oid.none);
+    heads = Array.make priorities 0;
+    lens = Array.make priorities 0;
     approx_ready = 0;
     top_hint = -1;
   }
 
-let priorities t = Array.length t.queues
+let priorities t = Array.length t.bufs
+
+(* Double ring [p], linearising entries to start at physical 0. *)
+let grow t p =
+  let buf = t.bufs.(p) in
+  let cap = Array.length buf in
+  let nbuf = Array.make (2 * cap) Oid.none in
+  let head = t.heads.(p) and n = t.lens.(p) in
+  for i = 0 to n - 1 do
+    nbuf.(i) <- buf.((head + i) land (cap - 1))
+  done;
+  t.bufs.(p) <- nbuf;
+  t.heads.(p) <- 0
 
 (** Append a thread at [priority] (clamped to the configured range). *)
 let enqueue t ~priority oid =
-  let p = max 0 (min (Array.length t.queues - 1) priority) in
-  Queue.push oid t.queues.(p);
+  let p = max 0 (min (Array.length t.bufs - 1) priority) in
+  if t.lens.(p) = Array.length t.bufs.(p) then grow t p;
+  let buf = t.bufs.(p) in
+  buf.((t.heads.(p) + t.lens.(p)) land (Array.length buf - 1)) <- oid;
+  t.lens.(p) <- t.lens.(p) + 1;
   if p > t.top_hint then t.top_hint <- p;
   t.approx_ready <- t.approx_ready + 1
 
 (* Lower the hint past queues a scan proved empty: [p] was examined and is
    empty, so if the hint still points at it, pull it down.  Only adjacent
    steps — the scan visits priorities downward, so the hint follows. *)
-let lower_hint t p = if t.top_hint = p && Queue.is_empty t.queues.(p) then t.top_hint <- p - 1
+let lower_hint t p = if t.top_hint = p && t.lens.(p) = 0 then t.top_hint <- p - 1
 
-(* Scan one priority queue looking for an eligible thread.  Stale entries
-   are dropped; ineligible-but-live entries keep their relative FIFO order
-   (they are collected and re-inserted ahead of the unexamined remainder,
-   not rotated to the tail — rotating on every failed pick would silently
-   reorder same-priority round robin). *)
-let scan_queue t q ~resolve ~eligible =
-  let n = Queue.length q in
-  let skipped = Queue.create () in
+(* Scan ring [p] looking for an eligible thread, compacting in place as it
+   goes: stale entries are dropped, ineligible-but-live entries keep their
+   relative FIFO order ahead of the unexamined remainder (never rotated to
+   the tail — rotating on every failed pick would silently reorder
+   same-priority round robin), and the found entry (if any) is removed.
+   Returns the found pair. *)
+let scan_queue t p ~resolve ~eligible =
+  let buf = t.bufs.(p) in
+  let mask = Array.length buf - 1 in
+  let head = t.heads.(p) in
+  let n = t.lens.(p) in
+  let w = ref 0 in
   let found = ref None in
-  let i = ref 0 in
-  while !found = None && !i < n do
-    incr i;
-    let oid = Queue.pop q in
-    match resolve oid with
+  let r = ref 0 in
+  while !found = None && !r < n do
+    let oid = buf.((head + !r) land mask) in
+    (match resolve oid with
     | None -> t.approx_ready <- t.approx_ready - 1 (* stale: drop *)
-    | Some d -> if eligible oid d then found := Some (oid, d) else Queue.push oid skipped
+    | Some d ->
+      if eligible oid d then begin
+        t.approx_ready <- t.approx_ready - 1;
+        found := Some (oid, d)
+      end
+      else begin
+        if !w <> !r then buf.((head + !w) land mask) <- oid;
+        incr w
+      end);
+    incr r
   done;
-  if not (Queue.is_empty skipped) then begin
-    (* q := skipped ++ q, preserving both segments' internal order *)
-    Queue.transfer q skipped;
-    Queue.transfer skipped q
-  end;
-  (match !found with Some _ -> t.approx_ready <- t.approx_ready - 1 | None -> ());
+  if !w <> !r then
+    if !w = 0 then begin
+      (* nothing kept ahead of the gap: advance the head past it (the
+         common case — the first entry was eligible) instead of sliding
+         the whole tail down.  Clear the vacated leading slots so dropped
+         identifiers are collectable. *)
+      for i = 0 to !r - 1 do
+        buf.((head + i) land mask) <- Oid.none
+      done;
+      t.heads.(p) <- (head + !r) land mask;
+      t.lens.(p) <- n - !r
+    end
+    else begin
+      (* dropped entries opened a gap: slide the unexamined tail down *)
+      for i = !r to n - 1 do
+        buf.((head + !w) land mask) <- buf.((head + i) land mask);
+        incr w
+      done;
+      (* clear vacated tail slots so dropped identifiers are collectable *)
+      for i = !w to n - 1 do
+        buf.((head + i) land mask) <- Oid.none
+      done;
+      t.lens.(p) <- !w
+    end;
   !found
 
 (** Dequeue the highest-priority eligible thread.  Starts at the
@@ -77,8 +135,8 @@ let pick t ~resolve ~eligible =
   let rec loop p =
     if p < 0 then None
     else
-      match scan_queue t t.queues.(p) ~resolve ~eligible with
-      | Some r -> Some r
+      match scan_queue t p ~resolve ~eligible with
+      | Some _ as r -> r
       | None ->
         lower_hint t p;
         loop (p - 1)
@@ -86,27 +144,54 @@ let pick t ~resolve ~eligible =
   loop t.top_hint
 
 (** Priority of the best eligible thread, without dequeuing (used for
-    preemption decisions).  Like {!scan_queue} this is a mutating scan:
-    stale identifiers are dropped as they are encountered (and
-    [approx_ready] decremented) instead of being re-resolved on every
-    preemption check forever; live entries keep their order. *)
-let highest_ready t ~resolve ~eligible =
+    preemption decisions); -1 when none.  Stale identifiers encountered
+    before the first eligible entry are dropped (and [approx_ready]
+    decremented); the scan short-circuits at the first eligible entry, so
+    the common per-step preemption check is a read-only walk. *)
+let highest_ready_pri t ~resolve ~eligible =
   let rec loop p =
-    if p < 0 then None
+    if p < 0 then -1
     else begin
-      let q = t.queues.(p) in
-      let n = Queue.length q in
+      let buf = t.bufs.(p) in
+      let mask = Array.length buf - 1 in
+      let head = t.heads.(p) in
+      let n = t.lens.(p) in
+      let w = ref 0 in
       let found = ref false in
-      for _ = 1 to n do
-        let oid = Queue.pop q in
-        match resolve oid with
+      let r = ref 0 in
+      while (not !found) && !r < n do
+        let oid = buf.((head + !r) land mask) in
+        (match resolve oid with
         | None -> t.approx_ready <- t.approx_ready - 1 (* stale: drop *)
         | Some d ->
-          Queue.push oid q;
-          if (not !found) && eligible oid d then found := true
+          if eligible oid d then found := true
+          else begin
+            if !w <> !r then buf.((head + !w) land mask) <- oid;
+            incr w
+          end);
+        if not !found then incr r
       done;
-      if !found then Some p
+      if !found then begin
+        if !w <> !r then begin
+          (* keep the eligible entry and unexamined tail contiguous *)
+          for i = !r to n - 1 do
+            buf.((head + !w) land mask) <- buf.((head + i) land mask);
+            incr w
+          done;
+          for i = !w to n - 1 do
+            buf.((head + i) land mask) <- Oid.none
+          done;
+          t.lens.(p) <- !w
+        end;
+        p
+      end
       else begin
+        if !w <> !r then begin
+          for i = !w to n - 1 do
+            buf.((head + i) land mask) <- Oid.none
+          done;
+          t.lens.(p) <- !w
+        end;
         lower_hint t p;
         loop (p - 1)
       end
@@ -114,7 +199,12 @@ let highest_ready t ~resolve ~eligible =
   in
   loop t.top_hint
 
-(** True when no queue holds any entry at all (stale ones included). *)
-let looks_empty t = Array.for_all Queue.is_empty t.queues
+(** Option view of {!highest_ready_pri} (kept for tests and callers that
+    want the priority as data rather than a sentinel). *)
+let highest_ready t ~resolve ~eligible =
+  match highest_ready_pri t ~resolve ~eligible with -1 -> None | p -> Some p
 
-let length t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
+(** True when no queue holds any entry at all (stale ones included). *)
+let looks_empty t = Array.for_all (fun n -> n = 0) t.lens
+
+let length t = Array.fold_left ( + ) 0 t.lens

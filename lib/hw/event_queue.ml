@@ -1,31 +1,59 @@
 (* Discrete-event queue: a binary min-heap of timed callbacks.
 
-   Ties break by insertion order so simulations are deterministic. *)
+   Ties break by insertion order so simulations are deterministic.
 
-type event = { time : Cost.cycles; seq : int; action : unit -> unit }
+   Layout is struct-of-arrays: flat int arrays for the heap keys
+   (time, insertion sequence) plus a parallel slot table for the
+   actions.  [schedule] and [run_next] allocate nothing in steady
+   state — sifting swaps ints and one closure pointer, never boxes an
+   event record — which keeps the innermost simulator loop off the
+   minor heap (see DESIGN.md section 12, "Zero-allocation hot path").
+
+   Popped slots are cleared eagerly: a removed action must become
+   collectable as soon as it has run, not live on invisibly at
+   [heap.(len)] until the slot is next overwritten. *)
 
 type t = {
-  mutable heap : event array;
+  mutable times : int array; (* Cost.cycles *)
+  mutable seqs : int array;
+  mutable actions : (unit -> unit) array;
   mutable len : int;
   mutable next_seq : int;
 }
 
-let dummy = { time = 0; seq = 0; action = ignore }
-let create () = { heap = Array.make 64 dummy; len = 0; next_seq = 0 }
+let no_action = ignore
+
+let create () =
+  {
+    times = Array.make 64 0;
+    seqs = Array.make 64 0;
+    actions = Array.make 64 no_action;
+    len = 0;
+    next_seq = 0;
+  }
+
 let is_empty t = t.len = 0
 let length t = t.len
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* Key order: earlier time first, ties by insertion sequence. *)
+let[@inline] before t i j =
+  t.times.(i) < t.times.(j) || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
 
-let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+let[@inline] swap t i j =
+  let tt = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- tt;
+  let ts = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- ts;
+  let ta = t.actions.(i) in
+  t.actions.(i) <- t.actions.(j);
+  t.actions.(j) <- ta
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before t.heap.(i) t.heap.(parent) then begin
+    if before t i parent then begin
       swap t i parent;
       sift_up t parent
     end
@@ -34,36 +62,57 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.len && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.len && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if l < t.len && before t l !smallest then smallest := l;
+  if r < t.len && before t r !smallest then smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
+(* Double the backing arrays.  Fresh action slots start at [no_action] so
+   a slot never exposes a stale closure to the GC. *)
+let grow t =
+  let cap = 2 * Array.length t.times in
+  let nt = Array.make cap 0 and ns = Array.make cap 0 and na = Array.make cap no_action in
+  Array.blit t.times 0 nt 0 t.len;
+  Array.blit t.seqs 0 ns 0 t.len;
+  Array.blit t.actions 0 na 0 t.len;
+  t.times <- nt;
+  t.seqs <- ns;
+  t.actions <- na
+
 (** Schedule [action] to run at absolute simulated time [time]. *)
 let schedule t ~time action =
-  if t.len = Array.length t.heap then begin
-    let bigger = Array.make (2 * t.len) dummy in
-    Array.blit t.heap 0 bigger 0 t.len;
-    t.heap <- bigger
-  end;
-  t.heap.(t.len) <- { time; seq = t.next_seq; action };
+  if t.len = Array.length t.times then grow t;
+  let i = t.len in
+  t.times.(i) <- time;
+  t.seqs.(i) <- t.next_seq;
+  t.actions.(i) <- action;
   t.next_seq <- t.next_seq + 1;
-  t.len <- t.len + 1;
-  sift_up t (t.len - 1)
+  t.len <- i + 1;
+  sift_up t i
 
 (** Time of the earliest pending event. *)
-let next_time t = if t.len = 0 then None else Some t.heap.(0).time
+let next_time t = if t.len = 0 then None else Some t.times.(0)
+
+(** Time of the earliest pending event, or [default] when empty.
+    Allocation-free peek for the engine hot path. *)
+let[@inline] next_time_or t ~default = if t.len = 0 then default else t.times.(0)
 
 (** Remove and run the earliest event; returns its time. *)
 let run_next t =
   if t.len = 0 then invalid_arg "Event_queue.run_next: empty";
-  let ev = t.heap.(0) in
-  t.len <- t.len - 1;
-  if t.len > 0 then begin
-    t.heap.(0) <- t.heap.(t.len);
+  let time = t.times.(0) in
+  let action = t.actions.(0) in
+  let n = t.len - 1 in
+  t.len <- n;
+  if n > 0 then begin
+    t.times.(0) <- t.times.(n);
+    t.seqs.(0) <- t.seqs.(n);
+    t.actions.(0) <- t.actions.(n);
     sift_down t 0
   end;
-  ev.action ();
-  ev.time
+  (* clear the vacated slot: the popped action must be collectable *)
+  t.actions.(n) <- no_action;
+  action ();
+  time

@@ -13,6 +13,9 @@ val schedule : t -> time:Cost.cycles -> (unit -> unit) -> unit
 val next_time : t -> Cost.cycles option
 (** Time of the earliest pending event. *)
 
+val next_time_or : t -> default:Cost.cycles -> Cost.cycles
+(** Like {!next_time} but allocation-free: [default] when empty. *)
+
 val run_next : t -> Cost.cycles
 (** Remove and run the earliest event; returns its time.
     @raise Invalid_argument if the queue is empty. *)

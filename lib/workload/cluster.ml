@@ -71,11 +71,17 @@ let create ?config ?(cpus = 2) ?(auto_failover = true) ~n () =
     state) and fail its interconnect port so in-flight frames to and from
     it drop — the two always travel together in a real machine crash. *)
 let crash t i =
-  Instance.crash t.nodes.(i).inst;
-  Hw.Interconnect.fail_node t.net (Instance.node_id t.nodes.(i).inst)
+  (* chaos scripts call this from another node's event handler: crossing
+     node state mid-window would race under domain-parallel stepping, so
+     the kill lands at the barrier (immediately when not windowed) *)
+  Engine.at_barrier (fun () ->
+      Instance.crash t.nodes.(i).inst;
+      Hw.Interconnect.fail_node t.net (Instance.node_id t.nodes.(i).inst))
 
-(** Run the cluster's engines until [until_us] (or quiescence). *)
-let run ?until_us t = ignore (Engine.run ?until_us (insts t))
+(** Run the cluster's engines until [until_us] (or quiescence).
+    [domains] > 1 steps nodes on that many OCaml domains; observables are
+    bit-identical to a single-domain run. *)
+let run ?until_us ?domains t = ignore (Engine.run ?until_us ?domains (insts t))
 
 (** Spawn [count] self-yielding compute threads on node [i] — detectable
     load for balancing/failover experiments.  Returns the thread oids. *)

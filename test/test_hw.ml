@@ -176,6 +176,86 @@ let prop_event_queue =
       done;
       List.rev !out = List.sort compare times)
 
+(* Regression: the struct-of-arrays heap must null a popped slot's action.
+   Leaving it referenced keeps every closure (and whatever it captured)
+   alive until the slot is overwritten — a space leak proportional to the
+   high-water mark of the queue.  [plant] runs in its own frame so no
+   stack root pins the payload once it returns. *)
+let[@inline never] plant q w =
+  let payload = Bytes.create 4096 in
+  Weak.set w 0 (Some payload);
+  Hw.Event_queue.schedule q ~time:5 (fun () -> ignore (Bytes.length payload))
+
+let test_event_queue_popped_collectable () =
+  let q = Hw.Event_queue.create () in
+  let w = Weak.create 1 in
+  plant q w;
+  (* a second entry keeps the queue (and the popped slot's cell) alive *)
+  Hw.Event_queue.schedule q ~time:99 (fun () -> ());
+  ignore (Hw.Event_queue.run_next q);
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) "popped action is collectable" true (Weak.get w 0 = None);
+  Alcotest.(check (option int)) "later entry unaffected" (Some 99)
+    (Hw.Event_queue.next_time q)
+
+(* Model test: arbitrary interleavings of schedule and run_next against a
+   stable sorted-list reference — same pop order (ties broken by
+   insertion sequence), same peeks, same emptiness. *)
+type eq_op = Sched of int | Run
+
+let prop_event_queue_model =
+  let print_ops ops =
+    String.concat ";"
+      (List.map (function Sched t -> Printf.sprintf "s%d" t | Run -> "r") ops)
+  in
+  let gen_ops =
+    QCheck.Gen.(
+      list_size (int_bound 300)
+        (frequency [ (2, map (fun t -> Sched t) (int_bound 50)); (1, return Run) ]))
+  in
+  QCheck.Test.make ~name:"event_queue: interleaved schedule/run matches sorted list"
+    ~count:300
+    (QCheck.make ~print:print_ops gen_ops)
+    (fun ops ->
+      let q = Hw.Event_queue.create () in
+      let model = ref [] in
+      (* stable insert: after every entry with time <= t *)
+      let insert t i =
+        let rec go = function
+          | (t', i') :: rest when t' <= t -> (t', i') :: go rest
+          | rest -> (t, i) :: rest
+        in
+        model := go !model
+      in
+      let popped_q = ref [] and popped_m = ref [] in
+      let next_id = ref 0 in
+      let run_one () =
+        match (Hw.Event_queue.next_time q, !model) with
+        | None, [] -> ()
+        | Some tq, (tm, im) :: rest ->
+          if tq <> tm then QCheck.Test.fail_reportf "peek %d, model %d" tq tm;
+          let t = Hw.Event_queue.run_next q in
+          if t <> tm then QCheck.Test.fail_reportf "ran %d, model %d" t tm;
+          model := rest;
+          popped_m := im :: !popped_m
+        | Some t, [] -> QCheck.Test.fail_reportf "queue has %d, model empty" t
+        | None, (t, _) :: _ -> QCheck.Test.fail_reportf "queue empty, model has %d" t
+      in
+      List.iter
+        (function
+          | Sched t ->
+            let i = !next_id in
+            incr next_id;
+            Hw.Event_queue.schedule q ~time:t (fun () -> popped_q := i :: !popped_q);
+            insert t i
+          | Run -> run_one ())
+        ops;
+      while not (Hw.Event_queue.is_empty q) do
+        run_one ()
+      done;
+      !model = [] && !popped_q = !popped_m)
+
 (* -- MMU -- *)
 
 let test_mmu () =
@@ -305,6 +385,9 @@ let () =
         [
           Alcotest.test_case "ordering" `Quick test_event_queue;
           qcheck prop_event_queue;
+          Alcotest.test_case "popped action is collectable" `Quick
+            test_event_queue_popped_collectable;
+          qcheck prop_event_queue_model;
         ] );
       ("mmu", [ Alcotest.test_case "translate and fault taxonomy" `Quick test_mmu ]);
       ("exec", [ Alcotest.test_case "effects and continuations" `Quick test_exec ]);

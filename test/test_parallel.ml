@@ -1,0 +1,261 @@
+(* Determinism under domain-parallelism: the windowed engine promises that
+   [Engine.run ~domains:n] produces bit-identical observables for every
+   [n] — same metrics, same trace, same simulated times.  These tests pin
+   that promise on the nastiest scenarios in the suite: chunk-loss
+   migration chaos, partition chaos with self-fence and restart, and the
+   crash-point sweep over the migration protocol, all replayed at
+   domains 1 / 2 / 4 and compared as strings. *)
+
+open Cachekernel
+open Aklib
+module C = Workload.Cluster
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "api error: %a" Api.pp_error e
+
+let counter (i : Instance.t) name = Metrics.counter i.Instance.metrics name
+
+(* The full observable surface of one run: every node's metrics JSON
+   (counters and histogram summaries) and trace JSON (event stream with
+   simulated timestamps), concatenated in node order. *)
+let fingerprint c =
+  String.concat "\n"
+    (Array.to_list
+       (Array.map
+          (fun (i : Instance.t) ->
+            Printf.sprintf "node%d now=%d halted=%b\n%s\n%s" (Instance.node_id i)
+              (Hw.Mpm.now i.Instance.node) i.Instance.halted
+              (Json.to_string (Metrics.to_json i.Instance.metrics))
+              (Json.to_string (Trace.to_json i.Instance.trace)))
+          (C.insts c)))
+
+let spin_body progress () =
+  let rec loop () =
+    Hw.Exec.compute 2000;
+    incr progress;
+    ignore (Hw.Exec.trap Api.Ck_yield);
+    loop ()
+  in
+  loop ()
+
+(* -- scenario 1: chunk-loss migration chaos ------------------------------ *)
+
+let migrate_chaos_obs ~domains seed =
+  let config =
+    {
+      Config.default with
+      Config.chaos =
+        Some
+          {
+            Config.chaos_default with
+            Config.chaos_seed = seed;
+            Config.migrate_drop = 0.25;
+          };
+    }
+  in
+  let c = C.create ~config ~n:2 () in
+  Array.iter (fun (i : Instance.t) -> Trace.enable i.Instance.trace) (C.insts c);
+  let ak0 = (C.srm c 0).Srm.Manager.ak in
+  let mgr = ak0.App_kernel.mgr in
+  let ws = 8 in
+  let vsp = ok (Segment_mgr.create_space mgr) in
+  let seg = Segment_mgr.create_segment mgr ~name:"pws" ~pages:ws in
+  Segment_mgr.write_segment_now mgr seg ~offset:0
+    (Bytes.init (ws * Hw.Addr.page_size) (fun i -> Char.chr (1 + (i mod 251))));
+  Segment_mgr.attach_region mgr vsp
+    (Region.v ~va_start:0x40000000 ~pages:ws ~segment:seg ~seg_offset:0 ());
+  let progress = ref 0 in
+  ignore
+    (ok
+       (Thread_lib.spawn ak0.App_kernel.threads ~space_tag:vsp.Segment_mgr.tag
+          ~priority:8
+          (Hw.Exec.unit_body (spin_body progress))));
+  C.run ~until_us:2_000.0 ~domains c;
+  ignore
+    (ok (Migrate.Plane.move_space (Srm.Distrib.plane (C.dist c 0)) ~dst:1 vsp.Segment_mgr.tag));
+  C.run ~until_us:100_000.0 ~domains c;
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d domains %d: transfer completed" seed domains)
+    1
+    (counter (C.inst c 0) "migrate.completed");
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d domains %d: adopted at node 1" seed domains)
+    1
+    (counter (C.inst c 1) "migrate.adopted");
+  fingerprint c
+
+(* -- scenario 2: partition chaos with self-fence and restart ------------- *)
+
+let partition_chaos_obs ~domains seed =
+  let chaos =
+    {
+      Config.chaos_default with
+      Config.chaos_seed = seed;
+      partition_at_us = Some 3_000.0;
+      partition_for_us = 4_000.0;
+      partition_minority = 1;
+    }
+  in
+  let config =
+    {
+      Config.default with
+      Config.heartbeat_interval_us = 200.0;
+      suspect_timeout_us = 600.0;
+      chaos = Some chaos;
+    }
+  in
+  let c = C.create ~config ~n:4 () in
+  Array.iter (fun (i : Instance.t) -> Trace.enable i.Instance.trace) (C.insts c);
+  C.run ~until_us:40_000.0 ~domains c;
+  let self_fenced =
+    Array.fold_left (fun a i -> a + counter i "fd.self_fenced") 0 (C.insts c)
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "seed %d domains %d: one node self-fenced" seed domains)
+    1 self_fenced;
+  Alcotest.(check bool)
+    (Printf.sprintf "seed %d domains %d: every node ends up" seed domains)
+    true
+    (Array.for_all (fun (i : Instance.t) -> not i.Instance.halted) (C.insts c));
+  fingerprint c
+
+let replay_identical name obs =
+  List.iter
+    (fun seed ->
+      let base = obs ~domains:1 seed in
+      List.iter
+        (fun domains ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s: seed %d identical at domains %d" name seed domains)
+            base (obs ~domains seed))
+        [ 2; 4 ])
+    [ 1; 2; 3 ]
+
+let test_migrate_chaos_domains () = replay_identical "migrate chaos" migrate_chaos_obs
+let test_partition_chaos_domains () =
+  replay_identical "partition chaos" partition_chaos_obs
+
+(* -- scenario 3: crash-point sweep under domains 4 ----------------------- *)
+
+let fo_config () =
+  {
+    Config.default with
+    Config.heartbeat_interval_us = 200.0;
+    suspect_timeout_us = 600.0;
+  }
+
+let ws_name = "pfows"
+
+let migration_setup () =
+  let c = C.create ~config:(fo_config ()) ~n:3 () in
+  let ak1 = (C.srm c 1).Srm.Manager.ak in
+  let mgr = ak1.App_kernel.mgr in
+  let ws = 4 in
+  let vsp = ok (Segment_mgr.create_space mgr) in
+  let seg = Segment_mgr.create_segment mgr ~name:ws_name ~pages:ws in
+  Segment_mgr.write_segment_now mgr seg ~offset:0
+    (Bytes.init (ws * Hw.Addr.page_size) (fun i -> Char.chr (1 + (i mod 251))));
+  Segment_mgr.attach_region mgr vsp
+    (Region.v ~va_start:0x40000000 ~pages:ws ~segment:seg ~seg_offset:0 ());
+  let progress = ref 0 in
+  ignore
+    (ok
+       (Thread_lib.spawn ak1.App_kernel.threads ~space_tag:vsp.Segment_mgr.tag
+          ~priority:8
+          (Hw.Exec.unit_body (spin_body progress))));
+  (c, vsp.Segment_mgr.tag)
+
+let ws_space (ak : App_kernel.t) =
+  Hashtbl.fold
+    (fun _ (vsp : Segment_mgr.vspace) acc ->
+      if
+        List.exists
+          (fun (r : Region.t) -> r.Region.segment.Segment.name = ws_name)
+          vsp.Segment_mgr.regions
+      then Some vsp
+      else acc)
+    ak.App_kernel.mgr.Segment_mgr.spaces None
+
+let live_copy_census c =
+  let holders = ref 0 and live_threads = ref 0 in
+  Array.iter
+    (fun i ->
+      let ak = (C.srm c i).Srm.Manager.ak in
+      match ws_space ak with
+      | None -> ()
+      | Some vsp ->
+        incr holders;
+        Thread_lib.iter ak.App_kernel.threads (fun e ->
+            if
+              e.Thread_lib.space_tag = vsp.Segment_mgr.tag
+              && e.Thread_lib.run <> Thread_lib.Exited
+            then incr live_threads))
+    [| 0; 1; 2 |];
+  (!holders, !live_threads)
+
+let discover_steps ~domains =
+  let c, tag = migration_setup () in
+  let seen = ref [] in
+  let hook name = if not (List.mem name !seen) then seen := name :: !seen in
+  Migrate.Plane.set_step_hook (Srm.Distrib.plane (C.dist c 1)) (Some hook);
+  Migrate.Plane.set_step_hook (Srm.Distrib.plane (C.dist c 2)) (Some hook);
+  C.run ~until_us:2_000.0 ~domains c;
+  ignore (ok (Migrate.Plane.move_space (Srm.Distrib.plane (C.dist c 1)) ~dst:2 tag));
+  C.run ~until_us:40_000.0 ~domains c;
+  let holders, live = live_copy_census c in
+  Alcotest.(check (pair int int)) "clean migration under domains: one live copy" (1, 1)
+    (holders, live);
+  List.rev !seen
+
+let sweep_one ~domains step =
+  let c, tag = migration_setup () in
+  let victim = if String.length step >= 4 && String.sub step 0 4 = "src." then 1 else 2 in
+  C.run ~until_us:2_000.0 ~domains c;
+  let fired = ref false in
+  let hook name =
+    if (not !fired) && name = step then begin
+      fired := true;
+      C.crash c victim
+    end
+  in
+  Migrate.Plane.set_step_hook (Srm.Distrib.plane (C.dist c victim)) (Some hook);
+  ignore (ok (Migrate.Plane.move_space (Srm.Distrib.plane (C.dist c 1)) ~dst:2 tag));
+  C.run ~until_us:80_000.0 ~domains c;
+  Alcotest.(check bool) (step ^ ": crash point exercised") true !fired;
+  Alcotest.(check bool)
+    (step ^ ": victim restarted")
+    true
+    (not (C.inst c victim).Instance.halted);
+  let holders, live = live_copy_census c in
+  Alcotest.(check int) (step ^ ": exactly one node holds the workspace") 1 holders;
+  Alcotest.(check int) (step ^ ": exactly one live thread") 1 live;
+  Array.iter
+    (fun (i : Instance.t) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: node %d audit clean" step (Instance.node_id i))
+        0
+        (List.length (Audit.run i).Audit.violations))
+    (C.insts c)
+
+let test_crash_sweep_domains () =
+  let steps = discover_steps ~domains:4 in
+  Alcotest.(check bool) "protocol steps discovered" true (List.length steps >= 6);
+  List.iter (sweep_one ~domains:4) steps
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "replay",
+        [
+          Alcotest.test_case "migrate chaos identical across domain counts" `Slow
+            test_migrate_chaos_domains;
+          Alcotest.test_case "partition chaos identical across domain counts" `Slow
+            test_partition_chaos_domains;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "crash-point sweep under domains 4" `Slow
+            test_crash_sweep_domains;
+        ] );
+    ]

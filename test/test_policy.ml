@@ -542,7 +542,7 @@ let test_kernel_unload_busy_is_atomic () =
          ~start:(Thread_obj.Fresh idle_body) ())
   in
   (* the thread in sp_b is the one executing this very call *)
-  inst.Instance.current_thread <- Some th;
+  inst.Instance.current_thread <- th;
   let kobj = Option.get (Instance.find_kernel inst k2) in
   (match Replacement.unload_kernel_now inst ~reason:Wb.Requested kobj with
   | `Busy -> ()
@@ -558,7 +558,7 @@ let test_kernel_unload_busy_is_atomic () =
   Alcotest.(check int) "no thread writeback happened" 0
     inst.Instance.stats.Stats.threads.Stats.unloads;
   (* once the thread yields, the same unload goes through *)
-  inst.Instance.current_thread <- None;
+  inst.Instance.current_thread <- Oid.none;
   (match Replacement.unload_kernel_now inst ~reason:Wb.Requested kobj with
   | `Done -> ()
   | `Busy -> Alcotest.fail "unload should succeed once no thread is active");
@@ -618,9 +618,9 @@ let test_force_deschedule_requeues () =
   | Some (oid, _) when Oid.equal oid th_oid -> ()
   | _ -> Alcotest.fail "freshly loaded thread should be queued");
   th.Thread_obj.state <- Thread_obj.Running 1;
-  inst.Instance.running.(1) <- Some th_oid;
+  inst.Instance.running.(1) <- th_oid;
   Replacement.force_deschedule inst th;
-  Alcotest.(check bool) "CPU slot cleared" true (inst.Instance.running.(1) = None);
+  Alcotest.(check bool) "CPU slot cleared" true (Oid.is_none inst.Instance.running.(1));
   (match th.Thread_obj.state with
   | Thread_obj.Ready -> ()
   | s -> Alcotest.failf "expected ready, got %a" Thread_obj.pp_run_state s);

@@ -173,13 +173,16 @@ let test_scan_preserves_fifo () =
 let test_highest_ready_drops_stale () =
   (* Bug: highest_ready never removed stale identifiers, so every preemption
      check re-resolved the same dead threads forever and approx_ready never
-     converged. *)
+     converged.  The scan now short-circuits at the first eligible entry,
+     so the contract is: every stale identifier *encountered* (ahead of
+     the first eligible entry) is dropped; ones behind it are never
+     touched — zero cost per check — and fall to a later pick's scan. *)
   let s = Scheduler.create ~priorities:4 in
-  let a, b, c = (oid 1, oid 2, oid 3) in
-  List.iter (fun o -> Scheduler.enqueue s ~priority:1 o) [ a; b; c ];
+  let b, a, c = (oid 1, oid 2, oid 3) in
+  List.iter (fun o -> Scheduler.enqueue s ~priority:1 o) [ b; a; c ];
   let live = Hashtbl.create 8 in
   List.iter (fun o -> Hashtbl.replace live o ()) [ a; c ];
-  (* b was unloaded since being enqueued *)
+  (* b was unloaded since being enqueued; it sits ahead of the live pair *)
   let p =
     Scheduler.highest_ready s ~resolve:(resolve_in live) ~eligible:(fun _ () -> true)
   in
